@@ -1,0 +1,87 @@
+// Ablation E (paper §3 "Modularity" / §4.2 ECN): the approximation
+// framework must "be able to model different protocols ... at any layer
+// of the networking stack". This bench runs the full pipeline twice —
+// once with TCP New Reno (what the paper evaluated) and once with DCTCP
+// + ECN marking at the fabric queues — and reports the end-to-end
+// accuracy of each. The boundary models never inspect protocol state;
+// they only see packet headers and timings, so a different congestion
+// controller is just a different traffic process to learn.
+//
+// Known fidelity gap, faithful to the prototype: delivered packets do
+// not carry model-predicted CE marks (the paper lists learning the ECN
+// bit as an extension), so DCTCP behind the approximation degrades
+// toward loss-based behaviour inside approximated regions.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "stats/distance.h"
+
+namespace {
+
+using namespace esim;  // NOLINT
+using sim::SimTime;
+
+core::ExperimentConfig base_config(bool dctcp) {
+  core::ExperimentConfig cfg;
+  cfg.net.spec.clusters = 2;
+  cfg.net.spec.tors_per_cluster = 2;
+  cfg.net.spec.aggs_per_cluster = 2;
+  cfg.net.spec.hosts_per_tor = 4;
+  cfg.net.spec.cores = 2;
+  cfg.load = 0.4;
+  cfg.intra_fraction = 0.3;
+  cfg.seed = 29;
+  cfg.duration = bench::quick_mode() ? SimTime::from_ms(8)
+                                     : SimTime::from_ms(25);
+  cfg.train_duration = cfg.duration;
+  cfg.model.hidden = 16;
+  cfg.model.layers = 1;
+  cfg.train.batch_size = 32;
+  cfg.train.seq_len = 16;
+  cfg.train.batches = bench::quick_mode() ? 30 : 120;
+  cfg.train.learning_rate = 5e-3;
+  if (dctcp) {
+    cfg.net.tcp.dctcp = true;
+    cfg.net.fabric_link.ecn_threshold_bytes = 30'000;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation E (paper §3 modularity)",
+                      "protocol swap: TCP New Reno vs DCTCP + ECN");
+
+  std::printf("%-10s %-12s %-12s %-12s %-12s %-10s\n", "protocol",
+              "drop-acc", "lat-MAE", "truth-p99", "approx-p99", "KS");
+  for (const bool dctcp : {false, true}) {
+    const auto cfg = base_config(dctcp);
+    const auto trace = core::record_boundary_trace(cfg);
+    const auto models = core::train_from_trace(cfg, trace);
+    const auto full = core::run_full_simulation(cfg, cfg.net.spec);
+    const auto hybrid =
+        core::run_hybrid_simulation(cfg, cfg.net.spec, models);
+    const double acc = (models.ingress_report.drop_accuracy +
+                        models.egress_report.drop_accuracy) /
+                       2.0;
+    const double mae = (models.ingress_report.latency_mae +
+                        models.egress_report.latency_mae) /
+                       2.0;
+    std::printf("%-10s %-12.3f %-12.3f %-12.3g %-12.3g %-10.3f\n",
+                dctcp ? "dctcp" : "newreno", acc, mae,
+                full.rtt_cdf.quantile(0.99), hybrid.rtt_cdf.quantile(0.99),
+                stats::ks_distance(full.rtt_cdf, hybrid.rtt_cdf));
+    std::fflush(stdout);
+  }
+
+  bench::print_note(
+      "expected shape: the pipeline trains and reproduces the RTT "
+      "distribution for both protocols without any protocol-specific "
+      "code in the models — DCTCP's groundtruth tail is shorter (ECN "
+      "keeps queues shallow), and the trained models track each regime. "
+      "Residual DCTCP error from unmodeled CE marks is expected (see "
+      "header).");
+  return 0;
+}

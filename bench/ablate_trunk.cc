@@ -1,0 +1,91 @@
+// Ablation D (paper §7 "Generality" / "testing new LSTM variants"):
+// trunk architecture — the paper's two-layer LSTM versus a GRU of the
+// same width — trained on one shared trace and compared on training fit,
+// end-to-end distributional accuracy, and inference cost.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "stats/distance.h"
+
+namespace {
+
+using namespace esim;  // NOLINT
+using sim::SimTime;
+
+core::ExperimentConfig base_config() {
+  core::ExperimentConfig cfg;
+  cfg.net.spec.clusters = 2;
+  cfg.net.spec.tors_per_cluster = 2;
+  cfg.net.spec.aggs_per_cluster = 2;
+  cfg.net.spec.hosts_per_tor = 4;
+  cfg.net.spec.cores = 2;
+  cfg.load = 0.35;
+  cfg.intra_fraction = 0.3;
+  cfg.seed = 23;
+  cfg.duration = bench::quick_mode() ? SimTime::from_ms(8)
+                                     : SimTime::from_ms(25);
+  cfg.train_duration = cfg.duration;
+  cfg.model.hidden = 16;
+  cfg.model.layers = bench::quick_mode() ? 1 : 2;
+  cfg.train.batch_size = 32;
+  cfg.train.seq_len = 16;
+  cfg.train.batches = bench::quick_mode() ? 30 : 120;
+  cfg.train.learning_rate = 5e-3;
+  return cfg;
+}
+
+double inference_ns_per_packet(approx::MicroModel& model) {
+  approx::PacketFeatures f;
+  f.v[0] = 0.4;
+  f.v[7] = 0.9;
+  model.reset_state();
+  const int n = 2000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < n; ++i) (void)model.predict(f);
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  model.reset_state();
+  return secs / n * 1e9;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation D (paper §7)",
+                      "trunk architecture: LSTM (paper) vs GRU variant");
+  auto cfg = base_config();
+
+  std::printf("recording shared trace + groundtruth run...\n");
+  const auto trace = core::record_boundary_trace(cfg);
+  const auto full = core::run_full_simulation(cfg, cfg.net.spec);
+
+  std::printf("\n%-8s %-12s %-12s %-10s %-14s\n", "trunk", "drop-acc",
+              "lat-MAE", "KS", "infer-ns/pkt");
+  for (const auto kind : {ml::TrunkKind::Lstm, ml::TrunkKind::Gru}) {
+    cfg.model.trunk = kind;
+    auto models = core::train_from_trace(cfg, trace);
+    const auto hybrid =
+        core::run_hybrid_simulation(cfg, cfg.net.spec, models);
+    const double acc = (models.ingress_report.drop_accuracy +
+                        models.egress_report.drop_accuracy) /
+                       2.0;
+    const double mae = (models.ingress_report.latency_mae +
+                        models.egress_report.latency_mae) /
+                       2.0;
+    std::printf("%-8s %-12.3f %-12.3f %-10.3f %-14.0f\n",
+                ml::trunk_kind_name(kind), acc, mae,
+                stats::ks_distance(full.rtt_cdf, hybrid.rtt_cdf),
+                inference_ns_per_packet(*models.egress));
+    std::fflush(stdout);
+  }
+
+  bench::print_note(
+      "expected shape: comparable accuracy between the two gated "
+      "architectures with the GRU cheaper per inference (3 gate matrices "
+      "vs 4) — the kind of cost/accuracy tradeoff §7 of the paper "
+      "anticipates exploring.");
+  return 0;
+}

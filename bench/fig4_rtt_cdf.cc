@@ -1,0 +1,108 @@
+// Figure 4: CDF of packet RTTs observed by full-fidelity hosts, in the
+// groundtruth simulation versus the approximate simulation.
+//
+// Workflow (paper §3/§6.1): record a boundary trace in a 2-cluster full
+// simulation, train the ingress/egress micro models, then run the same
+// topology twice — all clusters full, and all-but-one approximated — and
+// compare the RTT distributions seen by the full cluster's hosts.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/experiment.h"
+#include "stats/distance.h"
+
+namespace {
+
+using namespace esim;  // NOLINT
+using sim::SimTime;
+
+core::ExperimentConfig make_config() {
+  core::ExperimentConfig cfg;
+  cfg.net.spec.clusters = 2;
+  cfg.net.spec.tors_per_cluster = 2;
+  cfg.net.spec.aggs_per_cluster = 2;
+  cfg.net.spec.hosts_per_tor = 4;  // paper: 4 switches + 8 servers/cluster
+  cfg.net.spec.cores = 2;
+  cfg.load = 0.35;
+  cfg.intra_fraction = 0.3;
+  cfg.seed = 2018;
+  if (bench::quick_mode()) {
+    cfg.duration = SimTime::from_ms(10);
+    cfg.train_duration = SimTime::from_ms(10);
+    cfg.model.hidden = 8;
+    cfg.model.layers = 1;
+    cfg.train.batches = 40;
+    cfg.train.batch_size = 16;
+    cfg.train.seq_len = 16;
+    cfg.train.learning_rate = 5e-3;
+  } else {
+    cfg.duration = SimTime::from_ms(40);
+    cfg.train_duration = SimTime::from_ms(40);
+    cfg.model.hidden = 24;  // paper prototype: 128 on a GPU
+    cfg.model.layers = 2;
+    cfg.train.batches = 250;
+    cfg.train.batch_size = 32;
+    cfg.train.seq_len = 24;
+    // The paper's 1e-4 assumes >50k batches; scaled-up LR for the scaled-
+    // down budget (DESIGN.md §1).
+    cfg.train.learning_rate = 5e-3;
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 4",
+                      "CDF of packet RTTs: groundtruth vs approximation");
+  const auto cfg = make_config();
+
+  std::printf("[1/4] recording boundary trace (2-cluster full sim)...\n");
+  const auto trace = core::record_boundary_trace(cfg);
+  std::printf("      %zu boundary crossings\n", trace.records.size());
+
+  std::printf("[2/4] training micro models...\n");
+  const auto models = core::train_from_trace(cfg, trace);
+  std::printf(
+      "      ingress: loss %.4f -> %.4f, drop-acc %.3f, lat-MAE %.3f\n",
+      models.ingress_report.initial_loss, models.ingress_report.final_loss,
+      models.ingress_report.drop_accuracy, models.ingress_report.latency_mae);
+  std::printf(
+      "      egress : loss %.4f -> %.4f, drop-acc %.3f, lat-MAE %.3f\n",
+      models.egress_report.initial_loss, models.egress_report.final_loss,
+      models.egress_report.drop_accuracy, models.egress_report.latency_mae);
+
+  std::printf("[3/4] groundtruth run...\n");
+  const auto full = core::run_full_simulation(cfg, cfg.net.spec);
+  std::printf("[4/4] approximate run...\n");
+  const auto hybrid = core::run_hybrid_simulation(cfg, cfg.net.spec, models);
+
+  std::printf("\nRTT CDF (seconds; the paper's Figure 4 axes)\n");
+  std::printf("%-12s %-14s %-14s\n", "percentile", "groundtruth", "approx");
+  for (const double p :
+       {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00}) {
+    std::printf("p%-11g %-14.6g %-14.6g\n", p * 100,
+                full.rtt_cdf.quantile(p), hybrid.rtt_cdf.quantile(p));
+  }
+  std::printf("\nsamples: groundtruth=%zu approx=%zu\n", full.rtt_cdf.size(),
+              hybrid.rtt_cdf.size());
+  std::printf("KS distance          : %.4f\n",
+              stats::ks_distance(full.rtt_cdf, hybrid.rtt_cdf));
+  std::printf("Wasserstein-1 (sec)  : %.3e\n",
+              stats::wasserstein_distance(full.rtt_cdf, hybrid.rtt_cdf));
+  std::printf("flows completed      : full=%llu approx=%llu\n",
+              static_cast<unsigned long long>(full.flows_completed),
+              static_cast<unsigned long long>(hybrid.flows_completed));
+  std::printf("model-predicted drops: %llu (conflicts resolved: %llu)\n",
+              static_cast<unsigned long long>(
+                  hybrid.approx_stats.predicted_drops),
+              static_cast<unsigned long long>(
+                  hybrid.approx_stats.conflicts_resolved));
+
+  bench::print_note(
+      "reproduction target (paper §6.1): the approximate CDF rises at a "
+      "similar latency value to the groundtruth with a steeper slope — "
+      "distributional agreement, not per-packet agreement.");
+  return 0;
+}

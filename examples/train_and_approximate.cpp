@@ -1,0 +1,93 @@
+// The complete paper workflow in one program (paper §3, Figure 3):
+//
+//   1. simulate two clusters at full packet fidelity and record every
+//      packet crossing cluster 1's fabric boundary;
+//   2. train the ingress/egress LSTM micro models on that trace;
+//   3. save the models to disk and load them back (they are reusable
+//      artifacts — "once trained they are cheap to run, reusable");
+//   4. assemble a 4-cluster simulation where 3 clusters are replaced by
+//      the models and compare speed and RTT distributions with the full
+//      4-cluster simulation.
+//
+//   ./build/examples/train_and_approximate
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.h"
+#include "ml/serialize.h"
+#include "stats/distance.h"
+
+using namespace esim;  // NOLINT
+
+int main() {
+  core::ExperimentConfig cfg;
+  cfg.net.spec.clusters = 2;  // training topology
+  cfg.net.spec.tors_per_cluster = 2;
+  cfg.net.spec.aggs_per_cluster = 2;
+  cfg.net.spec.hosts_per_tor = 4;
+  cfg.net.spec.cores = 2;
+  cfg.load = 0.3;
+  cfg.intra_fraction = 0.3;
+  cfg.duration = sim::SimTime::from_ms(15);
+  cfg.train_duration = sim::SimTime::from_ms(20);
+  cfg.model.hidden = 16;
+  cfg.model.layers = 2;
+  cfg.train.batches = 80;
+  cfg.train.batch_size = 32;
+  cfg.train.seq_len = 16;
+  cfg.train.learning_rate = 5e-3;
+
+  std::printf("== step 1+2: record boundary trace and train ==\n");
+  const auto models = core::train_cluster_models(cfg);
+  std::printf("boundary crossings : %zu\n", models.boundary_records);
+  std::printf("ingress model      : drop-acc %.3f, latency-MAE %.3f\n",
+              models.ingress_report.drop_accuracy,
+              models.ingress_report.latency_mae);
+  std::printf("egress model       : drop-acc %.3f, latency-MAE %.3f\n",
+              models.egress_report.drop_accuracy,
+              models.egress_report.latency_mae);
+
+  std::printf("\n== step 3: save + reload the trained models ==\n");
+  const std::string dir = "/tmp";
+  ml::save_parameters(dir + "/esim_ingress.bin",
+                      models.ingress->parameters());
+  ml::save_parameters(dir + "/esim_egress.bin", models.egress->parameters());
+  core::TrainedModels reloaded;
+  reloaded.ingress = std::make_unique<approx::MicroModel>(cfg.model);
+  reloaded.egress = std::make_unique<approx::MicroModel>(cfg.model);
+  ml::load_parameters(dir + "/esim_ingress.bin",
+                      reloaded.ingress->parameters());
+  ml::load_parameters(dir + "/esim_egress.bin",
+                      reloaded.egress->parameters());
+  std::printf("saved and reloaded %s/esim_{ingress,egress}.bin\n",
+              dir.c_str());
+
+  std::printf("\n== step 4: full vs approximate at 4 clusters ==\n");
+  net::ClosSpec run_spec = cfg.net.spec;
+  run_spec.clusters = 4;
+  const auto full = core::run_full_simulation(cfg, run_spec);
+  const auto hybrid = core::run_hybrid_simulation(cfg, run_spec, reloaded);
+
+  std::printf("%-22s %-14s %-14s\n", "", "full", "approximate");
+  std::printf("%-22s %-14.3f %-14.3f\n", "wall seconds", full.wall_seconds,
+              hybrid.wall_seconds);
+  std::printf("%-22s %-14llu %-14llu\n", "events executed",
+              static_cast<unsigned long long>(full.events_executed),
+              static_cast<unsigned long long>(hybrid.events_executed));
+  std::printf("%-22s %-14llu %-14llu\n", "flows completed",
+              static_cast<unsigned long long>(full.flows_completed),
+              static_cast<unsigned long long>(hybrid.flows_completed));
+  if (!full.rtt_cdf.empty() && !hybrid.rtt_cdf.empty()) {
+    std::printf("%-22s %-14.6g %-14.6g\n", "RTT p50 (s)",
+                full.rtt_cdf.quantile(0.5), hybrid.rtt_cdf.quantile(0.5));
+    std::printf("%-22s %-14.6g %-14.6g\n", "RTT p99 (s)",
+                full.rtt_cdf.quantile(0.99), hybrid.rtt_cdf.quantile(0.99));
+    std::printf("KS distance between RTT CDFs: %.4f\n",
+                stats::ks_distance(full.rtt_cdf, hybrid.rtt_cdf));
+  }
+  std::printf("speedup: %.2fx\n",
+              hybrid.wall_seconds > 0
+                  ? full.wall_seconds / hybrid.wall_seconds
+                  : 0.0);
+  return 0;
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every paper figure and ablation at full scale.
+# Usage: scripts/run_all_figures.sh [output-file]
+# Set ESIM_BENCH_QUICK=1 for a fast smoke-test pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+out="${1:-bench_output.txt}"
+cmake -B build -G Ninja
+cmake --build build
+{
+  for b in build/bench/*; do
+    echo "=== $(basename "$b") ==="
+    "$b"
+  done
+} | tee "$out"

@@ -1,0 +1,39 @@
+// Training-set construction: replays boundary records through the same
+// feature pipeline the runtime uses, producing aligned (features, drop,
+// latency) rows in entry order.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "approx/features.h"
+#include "approx/macro_model.h"
+#include "approx/trace.h"
+#include "net/clos.h"
+
+namespace esim::approx {
+
+/// Supervised rows for one (cluster, direction) model.
+struct Dataset {
+  std::vector<PacketFeatures> features;
+  std::vector<double> drop_targets;    ///< 0.0 / 1.0
+  std::vector<double> latency_log_us;  ///< ln(latency in us); 0 for drops
+  double mean_log_us = 0.0;            ///< over delivered packets
+  double std_log_us = 1.0;
+
+  std::size_t size() const { return features.size(); }
+  /// Fraction of rows that are drops.
+  double drop_rate() const;
+};
+
+/// Builds the dataset for `direction` from completed boundary records.
+/// The records are replayed in entry order through a FeatureExtractor and
+/// a MacroClassifier configured exactly like the runtime's, so training
+/// features match inference features by construction.
+Dataset build_dataset(const net::ClosSpec& spec, std::uint32_t cluster,
+                      Direction direction,
+                      const std::vector<BoundaryRecord>& records,
+                      const MacroClassifier::Config& macro_config);
+
+}  // namespace esim::approx

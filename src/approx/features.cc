@@ -1,0 +1,75 @@
+#include "approx/features.h"
+
+#include <cmath>
+
+namespace esim::approx {
+namespace {
+
+/// log1p of a microsecond quantity, squashed to roughly [0, 1.5].
+double squash_us(double us) { return std::log1p(us) / 10.0; }
+
+}  // namespace
+
+FeatureExtractor::FeatureExtractor(const net::ClosSpec& spec,
+                                   std::uint32_t cluster,
+                                   Direction direction)
+    : spec_{spec}, cluster_{cluster}, direction_{direction} {
+  spec_.validate();
+}
+
+void FeatureExtractor::reset() {
+  has_last_ = false;
+  last_arrival_ = sim::SimTime{};
+  gap_ewma_.reset();
+}
+
+PacketFeatures FeatureExtractor::extract(const net::Packet& pkt,
+                                         sim::SimTime now,
+                                         MacroState macro) {
+  PacketFeatures f;
+  const double hosts = static_cast<double>(spec_.total_hosts());
+  const double switches = static_cast<double>(spec_.total_switches());
+
+  f.v[0] = static_cast<double>(pkt.flow.src_host) / hosts;
+  f.v[1] = static_cast<double>(pkt.flow.dst_host) / hosts;
+
+  // Replay the deterministic path to identify the switches this packet
+  // would traverse inside (and beyond) the approximated cluster.
+  const auto path = net::compute_path(spec_, pkt.flow);
+  // The ToR on this cluster's side of the path.
+  const net::SwitchId tor = direction_ == Direction::Egress
+                                ? path.hops[0]
+                                : path.hops[path.len - 1];
+  net::SwitchId agg = tor;   // fallback for 1-hop intra-ToR paths
+  double core_feature = 0.0;  // 0 marks "no core hop"
+  bool intra = true;
+  if (path.len == 3) {
+    agg = path.hops[1];
+  } else if (path.len == 5) {
+    intra = false;
+    if (direction_ == Direction::Egress) {
+      agg = path.hops[1];
+    } else {
+      agg = path.hops[3];
+    }
+    core_feature = (static_cast<double>(path.hops[2]) + 1.0) / switches;
+  }
+  f.v[2] = static_cast<double>(tor) / switches;
+  f.v[3] = static_cast<double>(agg) / switches;
+  f.v[4] = core_feature;
+
+  double gap_us = 0.0;
+  if (has_last_) gap_us = (now - last_arrival_).to_us();
+  last_arrival_ = now;
+  has_last_ = true;
+  gap_ewma_.add(gap_us);
+
+  f.v[5] = squash_us(gap_us);
+  f.v[6] = squash_us(gap_ewma_.value());
+  f.v[7] = static_cast<double>(pkt.size_bytes()) / 1538.0;
+  f.v[8] = intra ? 1.0 : 0.0;
+  f.v[9 + static_cast<std::size_t>(macro)] = 1.0;
+  return f;
+}
+
+}  // namespace esim::approx

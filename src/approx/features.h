@@ -1,0 +1,80 @@
+// Per-packet feature extraction for the micro models (paper §4.2).
+//
+// "For each packet, these include: the origin and destination servers; the
+//  ToR, Cluster, and Core switches that the packet would pass through in
+//  the cluster replaced by approximation; the time since the last packet
+//  arrived at the model; a moving average of these times; and finally, the
+//  current macro state of the cluster."
+//
+// All of these are computable from the packet header, the simulation time,
+// and routing knowledge (deterministic ECMP replay via net::compute_path) —
+// no simulation state is consulted. We additionally include the packet's
+// wire size, which is header information and directly drives serialization
+// latency (documented deviation, DESIGN.md §5).
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "net/clos.h"
+#include "net/packet.h"
+#include "sim/time.h"
+#include "stats/summary.h"
+
+namespace esim::approx {
+
+/// Which boundary crossing a model handles. The paper trains one model per
+/// direction because the flow mix differs (§4.2).
+enum class Direction {
+  Egress,   ///< host inside the cluster -> core layer
+  Ingress,  ///< core layer -> host inside the cluster
+};
+
+/// The four congestion regimes of the macro model (paper §4.1).
+enum class MacroState {
+  MinimalCongestion = 0,
+  IncreasingCongestion = 1,
+  HighCongestion = 2,
+  DecreasingCongestion = 3,
+};
+
+/// Number of macro states.
+inline constexpr std::size_t kMacroStates = 4;
+
+/// A fixed-size feature vector for one packet.
+struct PacketFeatures {
+  /// src, dst, tor, agg, core, gap, gap_ma, size, intra, macro one-hot(4).
+  static constexpr std::size_t kDim = 13;
+  std::array<double, kDim> v{};
+};
+
+/// Stateful extractor: tracks inter-arrival gaps at one model boundary.
+/// One instance per (cluster, direction), used identically during training
+/// (trace replay) and at simulation runtime, so features match by
+/// construction.
+class FeatureExtractor {
+ public:
+  /// `cluster` is the approximated cluster this boundary belongs to.
+  FeatureExtractor(const net::ClosSpec& spec, std::uint32_t cluster,
+                   Direction direction);
+
+  /// Extracts features for a packet hitting the boundary at `now` with the
+  /// given macro state, and updates the inter-arrival tracking.
+  PacketFeatures extract(const net::Packet& pkt, sim::SimTime now,
+                         MacroState macro);
+
+  /// Forgets inter-arrival history (new simulation).
+  void reset();
+
+  Direction direction() const { return direction_; }
+
+ private:
+  net::ClosSpec spec_;
+  std::uint32_t cluster_;
+  Direction direction_;
+  sim::SimTime last_arrival_;
+  bool has_last_ = false;
+  stats::Ewma gap_ewma_{0.1};
+};
+
+}  // namespace esim::approx

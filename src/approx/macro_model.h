@@ -1,0 +1,82 @@
+// The macro congestion-state classifier (paper §4.1).
+//
+// "Currently, our simulation platform identifies macro states using a
+//  simple and fast auto-regressive model. Based on previously observed
+//  latency and drop rates, if latency is relatively low, it classifies the
+//  network as (1). If drops are relatively high, it classifies the network
+//  as (4). (2) and (3) are distinguished based on prior state by observing
+//  whether latency and drops are rising or falling."
+//
+// Implemented faithfully: packet outcomes (latency, drop) are folded into
+// per-window aggregates; at each window boundary the state machine above
+// runs on EWMA-smoothed latency and drop rate. "Relatively low/high" are
+// thresholds relative to a configured no-load baseline latency and an
+// absolute per-window drop-rate bound. Rising/falling is the comparison of
+// the current window's smoothed latency+drop signal against the previous
+// window's.
+#pragma once
+
+#include <cstdint>
+
+#include "approx/features.h"
+#include "sim/time.h"
+#include "stats/summary.h"
+
+namespace esim::approx {
+
+/// Windowed auto-regressive classifier over observed latency/drop rates.
+class MacroClassifier {
+ public:
+  struct Config {
+    /// Aggregation window (the paper observes second- and
+    /// microsecond-scale structure; the window sits between the two).
+    sim::SimTime window = sim::SimTime::from_us(100);
+    /// Latency at/below which (x factor) the fabric counts as uncongested:
+    /// "relatively low" = ewma_latency < low_latency_factor * baseline.
+    double baseline_latency_s = 6e-6;
+    double low_latency_factor = 2.0;
+    /// "Relatively high" drop rate per window.
+    double high_drop_rate = 0.05;
+    /// EWMA smoothing across windows.
+    double smoothing_alpha = 0.3;
+  };
+
+  MacroClassifier() : MacroClassifier(Config{}) {}
+  explicit MacroClassifier(const Config& config);
+
+  /// Folds one packet outcome into the current window. Dropped packets
+  /// contribute no latency.
+  void observe(double latency_seconds, bool dropped);
+
+  /// Closes the current window: updates the EWMAs and re-classifies.
+  /// Windows with no observations decay toward MinimalCongestion.
+  void advance_window();
+
+  /// Current regime.
+  MacroState state() const { return state_; }
+
+  /// Smoothed per-window mean latency (seconds).
+  double latency_ewma() const { return latency_ewma_.value(); }
+
+  /// Smoothed per-window drop rate.
+  double drop_ewma() const { return drop_ewma_.value(); }
+
+  /// Configured window length (callers schedule advance_window with it).
+  sim::SimTime window() const { return config_.window; }
+
+  /// Restores the initial state.
+  void reset();
+
+ private:
+  Config config_;
+  MacroState state_ = MacroState::MinimalCongestion;
+  stats::Ewma latency_ewma_;
+  stats::Ewma drop_ewma_;
+  double prev_signal_ = 0.0;
+  // Current window accumulators.
+  double window_latency_sum_ = 0.0;
+  std::uint64_t window_delivered_ = 0;
+  std::uint64_t window_dropped_ = 0;
+};
+
+}  // namespace esim::approx

@@ -1,0 +1,99 @@
+#include "approx/micro_model.h"
+
+#include <cmath>
+
+#include "ml/activations.h"
+#include "sim/random.h"
+
+namespace esim::approx {
+
+namespace {
+
+std::unique_ptr<ml::SequenceModel> make_trunk(const MicroModel::Config& cfg) {
+  sim::Rng rng{cfg.seed};
+  return ml::make_sequence_model(cfg.trunk, PacketFeatures::kDim,
+                                 cfg.hidden, cfg.layers, rng);
+}
+
+ml::Linear make_head(std::uint64_t seed, std::size_t hidden) {
+  sim::Rng rng{seed};
+  return ml::Linear{hidden, 1, rng};
+}
+
+}  // namespace
+
+MicroModel::MicroModel(const Config& config)
+    : config_{config},
+      trunk_{make_trunk(config)},
+      drop_head_{make_head(config.seed + 101, config.hidden)},
+      latency_head_{make_head(config.seed + 202, config.hidden)},
+      norm_{1, 2, {std::log(10.0), 1.0}},  // default: ~10us fabric latency
+      norm_grad_{1, 2} {}
+
+MicroModel::MicroModel(const MicroModel& other)
+    : config_{other.config_},
+      trunk_{other.trunk_->clone()},
+      drop_head_{other.drop_head_},
+      latency_head_{other.latency_head_},
+      norm_{other.norm_},
+      norm_grad_{other.norm_grad_} {}
+
+MicroModel& MicroModel::operator=(const MicroModel& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  trunk_ = other.trunk_->clone();
+  drop_head_ = other.drop_head_;
+  latency_head_ = other.latency_head_;
+  norm_ = other.norm_;
+  norm_grad_ = other.norm_grad_;
+  state_.reset();
+  return *this;
+}
+
+void MicroModel::reset_state() { state_.reset(); }
+
+void MicroModel::set_latency_normalization(double mean_log_us,
+                                           double std_log_us) {
+  norm_.at(0, 0) = mean_log_us;
+  norm_.at(0, 1) = std_log_us <= 0 ? 1.0 : std_log_us;
+}
+
+double MicroModel::denormalize_latency(double head_output) const {
+  const double log_us = head_output * norm_.at(0, 1) + norm_.at(0, 0);
+  return std::exp(log_us) * 1e-6;
+}
+
+double MicroModel::normalize_latency(double latency_seconds) const {
+  const double us = std::max(latency_seconds * 1e6, 1e-3);
+  return (std::log(us) - norm_.at(0, 0)) / norm_.at(0, 1);
+}
+
+MicroModel::Prediction MicroModel::predict(const PacketFeatures& features) {
+  if (!state_) state_ = trunk_->make_state(1);
+  ml::Tensor x{1, PacketFeatures::kDim,
+               std::vector<double>(features.v.begin(), features.v.end())};
+  const ml::Tensor h = trunk_->step(x, *state_);
+  const ml::Tensor drop_logit = drop_head_.forward(h);
+  const ml::Tensor lat = latency_head_.forward(h);
+  Prediction p;
+  p.drop_probability = ml::sigmoid(drop_logit.at(0, 0));
+  p.latency_seconds = denormalize_latency(lat.at(0, 0));
+  return p;
+}
+
+std::vector<ml::Parameter> MicroModel::parameters() {
+  std::vector<ml::Parameter> out;
+  for (auto& p : trunk_->parameters()) {
+    out.push_back({"trunk." + p.name, p.value, p.grad});
+  }
+  for (auto& p : drop_head_.parameters()) {
+    out.push_back({"drop." + p.name, p.value, p.grad});
+  }
+  for (auto& p : latency_head_.parameters()) {
+    out.push_back({"latency." + p.name, p.value, p.grad});
+  }
+  out.push_back({"norm", &norm_, &norm_grad_});
+  return out;
+}
+
+}  // namespace esim::approx

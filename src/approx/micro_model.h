@@ -1,0 +1,88 @@
+// The deep-learning micro model (paper §4.2): a recurrent trunk whose
+// multi-dimensional hidden state feeds two fully connected heads, one
+// predicting the packet-drop logit and one predicting (log-space,
+// normalized) latency. One MicroModel handles one boundary direction.
+//
+// "The multi-dimensional hidden state output from the LSTM is given to one
+//  fully connected layer to predict the latency and another fully
+//  connected layer to predict packet drop. This is superior to training
+//  two separate models as the neural network representation can learn the
+//  joint distribution of drops and latency."
+//
+// The trunk defaults to the paper's two-layer LSTM; a GRU variant (§7's
+// "new LSTM variants") is selectable via Config::trunk.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "approx/features.h"
+#include "ml/linear.h"
+#include "ml/module.h"
+#include "ml/sequence_model.h"
+
+namespace esim::approx {
+
+/// Recurrent trunk + drop head + latency head, with streaming state.
+class MicroModel : public ml::Module {
+ public:
+  struct Config {
+    std::size_t hidden = 32;  ///< paper prototype: 128; smaller by default
+    std::size_t layers = 2;   ///< paper prototype: two-layer LSTM
+    ml::TrunkKind trunk = ml::TrunkKind::Lstm;
+    std::uint64_t seed = 1;   ///< weight initialisation stream
+  };
+
+  /// What the model asserts about one packet.
+  struct Prediction {
+    double drop_probability = 0.0;
+    double latency_seconds = 0.0;
+  };
+
+  explicit MicroModel(const Config& config);
+
+  /// Deep copies (each ApproxCluster owns private weights + state).
+  MicroModel(const MicroModel& other);
+  MicroModel& operator=(const MicroModel& other);
+
+  /// Streaming inference for one packet: advances the hidden state and
+  /// returns the joint prediction. Latency is de-normalized via the stats
+  /// set at training time.
+  Prediction predict(const PacketFeatures& features);
+
+  /// Clears the streaming hidden state (start of a new simulation).
+  void reset_state();
+
+  /// Sets the latency-target normalization (mean/std of ln(latency_us))
+  /// computed by the trainer over the training set.
+  void set_latency_normalization(double mean_log_us, double std_log_us);
+
+  /// Converts a normalized latency-head output to seconds.
+  double denormalize_latency(double head_output) const;
+
+  /// Converts a latency in seconds to the normalized training target.
+  double normalize_latency(double latency_seconds) const;
+
+  /// Trainer access to the pieces.
+  ml::SequenceModel& trunk() { return *trunk_; }
+  ml::Linear& drop_head() { return drop_head_; }
+  ml::Linear& latency_head() { return latency_head_; }
+
+  const Config& config() const { return config_; }
+
+  /// Includes the trunk, both heads, and the normalization constants (so
+  /// serialized models carry them).
+  std::vector<ml::Parameter> parameters() override;
+
+ private:
+  Config config_;
+  std::unique_ptr<ml::SequenceModel> trunk_;
+  ml::Linear drop_head_;
+  ml::Linear latency_head_;
+  ml::Tensor norm_;       // 1x2: [mean_log_us, std_log_us]
+  ml::Tensor norm_grad_;  // unused, present for the Parameter interface
+  std::unique_ptr<ml::SequenceModel::State> state_;
+};
+
+}  // namespace esim::approx

@@ -1,0 +1,81 @@
+#include "approx/trace.h"
+
+namespace esim::approx {
+
+TraceRecorder::TraceRecorder(const net::ClosSpec& spec, std::uint32_t cluster,
+                             const BoundaryTaps& taps)
+    : spec_{spec}, cluster_{cluster} {
+  for (auto* link : taps.host_uplinks) {
+    link->on_transmit = [this](const net::Packet& pkt,
+                               sim::SimTime arrive_at) {
+      on_entry(pkt, arrive_at, Direction::Egress);
+    };
+  }
+  for (auto* link : taps.core_agg_down) {
+    link->on_transmit = [this](const net::Packet& pkt,
+                               sim::SimTime arrive_at) {
+      on_entry(pkt, arrive_at, Direction::Ingress);
+    };
+  }
+  for (auto* link : taps.agg_core_up) {
+    link->on_transmit = [this](const net::Packet& pkt,
+                               sim::SimTime arrive_at) {
+      on_exit(pkt, arrive_at);
+    };
+  }
+  for (auto* link : taps.host_downlinks) {
+    link->on_transmit = [this](const net::Packet& pkt,
+                               sim::SimTime arrive_at) {
+      on_exit(pkt, arrive_at);
+    };
+  }
+  for (auto* link : taps.drop_links) {
+    link->on_drop = [this](const net::Packet& pkt) { on_fabric_drop(pkt); };
+  }
+}
+
+void TraceRecorder::on_entry(const net::Packet& pkt, sim::SimTime arrive_at,
+                             Direction direction) {
+  // Intra-cluster traffic never crosses the boundary: filter at entry.
+  if (direction == Direction::Egress &&
+      spec_.cluster_of_host(pkt.flow.dst_host) == cluster_) {
+    return;
+  }
+  BoundaryRecord rec;
+  rec.packet = pkt;
+  rec.direction = direction;
+  rec.entry = arrive_at;
+  open_[pkt.id] = records_.size();
+  records_.push_back(std::move(rec));
+}
+
+void TraceRecorder::on_exit(const net::Packet& pkt, sim::SimTime arrive_at) {
+  const auto it = open_.find(pkt.id);
+  if (it == open_.end()) return;  // not a tracked boundary crossing
+  BoundaryRecord& rec = records_[it->second];
+  rec.exit = arrive_at;
+  rec.completed = true;
+  open_.erase(it);
+}
+
+void TraceRecorder::on_fabric_drop(const net::Packet& pkt) {
+  const auto it = open_.find(pkt.id);
+  if (it == open_.end()) return;
+  BoundaryRecord& rec = records_[it->second];
+  rec.dropped = true;
+  rec.completed = true;
+  open_.erase(it);
+}
+
+void TraceRecorder::finalize() { open_.clear(); }
+
+std::vector<BoundaryRecord> TraceRecorder::completed(
+    Direction direction) const {
+  std::vector<BoundaryRecord> out;
+  for (const auto& r : records_) {
+    if (r.completed && r.direction == direction) out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace esim::approx

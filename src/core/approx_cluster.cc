@@ -1,0 +1,156 @@
+#include "core/approx_cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace esim::core {
+
+using approx::Direction;
+using net::Packet;
+
+ApproxCluster::ApproxCluster(sim::Simulator& sim, std::string name,
+                             const Config& config,
+                             const approx::MicroModel& ingress_model,
+                             const approx::MicroModel& egress_model)
+    : Component(sim, std::move(name)),
+      config_{config},
+      ingress_model_{ingress_model},
+      egress_model_{egress_model},
+      ingress_features_{config.spec, config.cluster, Direction::Ingress},
+      egress_features_{config.spec, config.cluster, Direction::Egress},
+      macro_{config.macro} {
+  config_.spec.validate();
+  ingress_model_.reset_state();
+  egress_model_.reset_state();
+  cores_.resize(config_.spec.cores, nullptr);
+  hosts_.resize(config_.spec.hosts_per_cluster(), nullptr);
+  core_ports_.assign(config_.spec.cores,
+                     DeliverySerializer{config_.port_bandwidth_bps});
+  host_ports_.assign(config_.spec.hosts_per_cluster(),
+                     DeliverySerializer{config_.port_bandwidth_bps});
+}
+
+void ApproxCluster::attach_core(std::uint32_t index,
+                                net::Switch* core_switch) {
+  cores_.at(index) = core_switch;
+}
+
+void ApproxCluster::set_core_remote(std::uint32_t index,
+                                    net::RemoteScheduler remote) {
+  if (core_remotes_.empty()) core_remotes_.resize(cores_.size());
+  core_remotes_.at(index) = std::move(remote);
+}
+
+void ApproxCluster::attach_host(net::HostId id, tcp::Host* host) {
+  if (config_.spec.cluster_of_host(id) != config_.cluster) {
+    throw std::invalid_argument(name() + ": host " + std::to_string(id) +
+                                " is not in cluster " +
+                                std::to_string(config_.cluster));
+  }
+  hosts_.at(id % config_.spec.hosts_per_cluster()) = host;
+}
+
+void ApproxCluster::start() {
+  schedule_in(macro_.window(), [this] {
+    macro_.advance_window();
+    start();
+  });
+}
+
+bool ApproxCluster::decide_drop(double probability) {
+  if (config_.sample_drops) return rng().bernoulli(probability);
+  return probability > 0.5;
+}
+
+void ApproxCluster::handle_packet(Packet pkt) {
+  const std::uint32_t src_cluster =
+      config_.spec.cluster_of_host(pkt.flow.src_host);
+  const std::uint32_t dst_cluster =
+      config_.spec.cluster_of_host(pkt.flow.dst_host);
+
+  const bool egress = src_cluster == config_.cluster;
+  approx::MicroModel& model = egress ? egress_model_ : ingress_model_;
+  approx::FeatureExtractor& extractor =
+      egress ? egress_features_ : ingress_features_;
+
+  const auto features = extractor.extract(pkt, now(), macro_.state());
+  const auto prediction = model.predict(features);
+  const double latency =
+      std::max(prediction.latency_seconds, config_.min_latency_s);
+
+  const bool drop = decide_drop(prediction.drop_probability);
+  macro_.observe(latency, drop);
+  if (drop) {
+    ++stats_.predicted_drops;
+    return;  // TCP on the endpoints recovers, as with a real queue drop
+  }
+
+  if (egress && dst_cluster == config_.cluster) {
+    // Intra-cluster traffic of an approximated cluster. Normally elided
+    // by the workload filter (paper §6.2); when present, the fabric model
+    // delivers it directly to the destination host.
+    ++stats_.intra_packets;
+    deliver_ingress(std::move(pkt), latency);
+    return;
+  }
+  if (egress) {
+    ++stats_.egress_packets;
+    deliver_egress(std::move(pkt), latency);
+  } else {
+    ++stats_.ingress_packets;
+    deliver_ingress(std::move(pkt), latency);
+  }
+}
+
+void ApproxCluster::deliver_egress(Packet pkt, double latency_s) {
+  const auto path = net::compute_path(config_.spec, pkt.flow);
+  if (path.len != 5) {
+    throw std::logic_error(name() + ": egress packet without a core hop");
+  }
+  const std::uint32_t core_index =
+      path.hops[2] - config_.spec.core_id(0);
+  net::Switch* core = cores_.at(core_index);
+  if (core == nullptr) {
+    throw std::logic_error(name() + ": core " + std::to_string(core_index) +
+                           " not attached");
+  }
+  const sim::SimTime desired = now() + sim::SimTime::from_seconds_f(latency_s);
+  const auto granted = core_ports_[core_index].try_reserve(
+      desired, pkt.size_bytes(), config_.max_port_backlog);
+  if (!granted) {
+    ++stats_.backlog_drops;
+    return;
+  }
+  if (*granted != desired) ++stats_.conflicts_resolved;
+  auto deliver = [core, pkt = std::move(pkt)]() mutable {
+    core->handle_packet(std::move(pkt));
+  };
+  if (core_index < core_remotes_.size() && core_remotes_[core_index]) {
+    core_remotes_[core_index](*granted, std::move(deliver));
+  } else {
+    schedule_at(*granted, std::move(deliver));
+  }
+}
+
+void ApproxCluster::deliver_ingress(Packet pkt, double latency_s) {
+  const std::uint32_t offset =
+      pkt.flow.dst_host % config_.spec.hosts_per_cluster();
+  tcp::Host* host = hosts_.at(offset);
+  if (host == nullptr) {
+    throw std::logic_error(name() + ": host offset " +
+                           std::to_string(offset) + " not attached");
+  }
+  const sim::SimTime desired = now() + sim::SimTime::from_seconds_f(latency_s);
+  const auto granted = host_ports_[offset].try_reserve(
+      desired, pkt.size_bytes(), config_.max_port_backlog);
+  if (!granted) {
+    ++stats_.backlog_drops;
+    return;
+  }
+  if (*granted != desired) ++stats_.conflicts_resolved;
+  schedule_at(*granted, [host, pkt = std::move(pkt)]() mutable {
+    host->handle_packet(std::move(pkt));
+  });
+}
+
+}  // namespace esim::core

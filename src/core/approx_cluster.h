@@ -1,0 +1,116 @@
+// ApproxCluster: the drop-in replacement for a cluster's switching fabric
+// (the paper's black box of Figure 3).
+//
+// It keeps exactly the boundary contract of the real fabric:
+//   * hosts inside the cluster transmit into it through their normal
+//     uplink Links (they run unmodified TCP stacks — paper §5);
+//   * core switches transmit into it through normal Links where the real
+//     ToR/Agg layers used to be;
+//   * for every packet it consults the macro state classifier and the
+//     direction's micro model, then either drops the packet or delivers
+//     it to the far side (the path-replayed core switch, or the
+//     destination host) after the predicted latency, serialized per
+//     output port to resolve impossible schedules (paper §4.2).
+//
+// Everything between those edges — ToR/Agg queues, links, forwarding —
+// schedules no events at all, which is where the speedup of Figure 5
+// comes from.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "approx/features.h"
+#include "approx/macro_model.h"
+#include "approx/micro_model.h"
+#include "core/conflict.h"
+#include "net/clos.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "sim/component.h"
+#include "tcp/host.h"
+
+namespace esim::core {
+
+/// One approximated cluster fabric.
+class ApproxCluster : public sim::Component, public net::PacketHandler {
+ public:
+  struct Config {
+    net::ClosSpec spec;
+    std::uint32_t cluster = 1;
+    /// Draw drops from Bernoulli(p) (true, default) or threshold p > 0.5.
+    bool sample_drops = true;
+    /// Floor on predicted latency (a fabric traversal is never faster
+    /// than its unloaded store-and-forward minimum).
+    double min_latency_s = 2e-6;
+    /// Line rate of the emulated output ports (for conflict resolution).
+    double port_bandwidth_bps = 10e9;
+    /// Maximum queueing delay an emulated port may impose before the
+    /// packet is dropped instead (the virtual analogue of the real
+    /// port's drop-tail queue; default = 150 KB at 10 Gbps).
+    sim::SimTime max_port_backlog = sim::SimTime::from_us(120);
+    /// Macro classifier parameters.
+    approx::MacroClassifier::Config macro;
+  };
+
+  /// Outcome counters, exposed for experiments and tests.
+  struct Stats {
+    std::uint64_t egress_packets = 0;
+    std::uint64_t ingress_packets = 0;
+    std::uint64_t intra_packets = 0;
+    std::uint64_t predicted_drops = 0;
+    std::uint64_t conflicts_resolved = 0;
+    /// Drops from emulated-port backlog overflow (virtual drop-tail).
+    std::uint64_t backlog_drops = 0;
+  };
+
+  /// Copies the trained models (each cluster needs private hidden state).
+  ApproxCluster(sim::Simulator& sim, std::string name, const Config& config,
+                const approx::MicroModel& ingress_model,
+                const approx::MicroModel& egress_model);
+
+  /// Wires the core switch that egress packets choosing core `index`
+  /// should be injected into. All cores must be attached before running.
+  void attach_core(std::uint32_t index, net::Switch* core_switch);
+
+  /// Routes egress deliveries to core `index` through a cross-partition
+  /// scheduler (the core lives in another PDES partition). The engine's
+  /// lookahead must be <= the configured min_latency_s, which lower-
+  /// bounds every egress delivery delay.
+  void set_core_remote(std::uint32_t index, net::RemoteScheduler remote);
+
+  /// Wires a host of this cluster (ingress deliveries go to it).
+  void attach_host(net::HostId id, tcp::Host* host);
+
+  /// Starts the periodic macro-state window timer.
+  void start();
+
+  /// Packets arrive here from host uplinks and from core switch links.
+  void handle_packet(net::Packet pkt) override;
+
+  /// Current macro state.
+  approx::MacroState macro_state() const { return macro_.state(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void deliver_egress(net::Packet pkt, double latency_s);
+  void deliver_ingress(net::Packet pkt, double latency_s);
+  bool decide_drop(double probability);
+
+  Config config_;
+  approx::MicroModel ingress_model_;
+  approx::MicroModel egress_model_;
+  approx::FeatureExtractor ingress_features_;
+  approx::FeatureExtractor egress_features_;
+  approx::MacroClassifier macro_;
+  std::vector<net::Switch*> cores_;
+  std::vector<net::RemoteScheduler> core_remotes_;  // empty fn = local
+  std::vector<tcp::Host*> hosts_;              // by offset within cluster
+  std::vector<DeliverySerializer> core_ports_;  // per core
+  std::vector<DeliverySerializer> host_ports_;  // per cluster host offset
+  Stats stats_;
+};
+
+}  // namespace esim::core

@@ -1,0 +1,71 @@
+// Schedule-conflict resolution (paper §4.2):
+//
+// "We note that predicted latency can sometimes result in impossible
+//  schedules if two packets are scheduled for the same time. In this case,
+//  the one processed first is given priority, with conflicting packet sent
+//  at the next possible time."
+//
+// A DeliverySerializer guards one model output port (a host NIC or a core
+// switch input): each granted delivery reserves the port for the packet's
+// serialization time, and a delivery that would land inside a reservation
+// is pushed to the next free instant.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+
+#include "sim/time.h"
+
+namespace esim::core {
+
+/// Serializes model-predicted deliveries on one port.
+class DeliverySerializer {
+ public:
+  /// `bandwidth_bps` is the port's line rate.
+  explicit DeliverySerializer(double bandwidth_bps)
+      : bandwidth_bps_{bandwidth_bps} {
+    if (bandwidth_bps <= 0) {
+      throw std::invalid_argument(
+          "DeliverySerializer: bandwidth must be positive");
+    }
+  }
+
+  /// Grants a delivery slot: returns max(desired, next free instant) and
+  /// reserves the port for `size_bytes` of serialization after it.
+  sim::SimTime reserve(sim::SimTime desired, std::uint32_t size_bytes) {
+    const sim::SimTime granted =
+        desired > next_free_ ? desired : next_free_;
+    const double tx_s =
+        static_cast<double>(size_bytes) * 8.0 / bandwidth_bps_;
+    next_free_ = granted + sim::SimTime::from_ns(static_cast<std::int64_t>(
+                               std::llround(tx_s * 1e9)));
+    return granted;
+  }
+
+  /// Like reserve(), but refuses (returns nullopt, reserving nothing)
+  /// when the packet would have to wait more than `max_backlog` past its
+  /// desired time. This mirrors the drop-tail queue the emulated port
+  /// had in the full-fidelity fabric: a real port would have dropped the
+  /// packet rather than queue it unboundedly, so a hybrid run must not
+  /// accumulate an infinitely deep virtual queue either.
+  std::optional<sim::SimTime> try_reserve(sim::SimTime desired,
+                                          std::uint32_t size_bytes,
+                                          sim::SimTime max_backlog) {
+    if (next_free_ > desired + max_backlog) return std::nullopt;
+    return reserve(desired, size_bytes);
+  }
+
+  /// Next instant at which the port is free.
+  sim::SimTime next_free() const { return next_free_; }
+
+  /// Clears all reservations.
+  void reset() { next_free_ = sim::SimTime{}; }
+
+ private:
+  double bandwidth_bps_;
+  sim::SimTime next_free_;
+};
+
+}  // namespace esim::core

@@ -1,0 +1,240 @@
+#include "core/experiment.h"
+
+#include <chrono>
+#include <stdexcept>
+
+#include "approx/dataset.h"
+#include "workload/generator.h"
+
+namespace esim::core {
+
+namespace {
+
+std::unique_ptr<workload::FlowSizeDistribution> make_sizes(
+    WorkloadScale scale) {
+  if (scale == WorkloadScale::FullWebSearch) {
+    return workload::web_search_distribution();
+  }
+  return workload::mini_web_distribution();
+}
+
+net::ClosSpec resolve_train_spec(const ExperimentConfig& config) {
+  net::ClosSpec spec = config.train_spec;
+  if (spec.clusters == 0) {
+    spec = config.net.spec;
+    spec.clusters = 2;
+    if (spec.cores == 0) spec.cores = 2;
+  }
+  spec.validate();
+  if (spec.clusters < 2) {
+    throw std::invalid_argument(
+        "train_cluster_models: training topology needs >= 2 clusters");
+  }
+  return spec;
+}
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+approx::BoundaryTaps make_boundary_taps(const BuiltNetwork& network,
+                                        std::uint32_t cluster) {
+  approx::BoundaryTaps taps;
+  const auto& spec = network.spec;
+  for (net::HostId h = 0; h < spec.total_hosts(); ++h) {
+    if (spec.cluster_of_host(h) != cluster) continue;
+    taps.host_uplinks.push_back(network.host_uplinks[h]);
+    taps.host_downlinks.push_back(network.host_downlinks[h]);
+    taps.drop_links.push_back(network.host_downlinks[h]);
+  }
+  for (const auto& att : network.core_links) {
+    if (att.cluster != cluster) continue;
+    taps.agg_core_up.push_back(att.up);
+    taps.core_agg_down.push_back(att.down);
+    taps.drop_links.push_back(att.up);
+  }
+  for (const auto& [c, link] : network.intra_fabric_links) {
+    if (c == cluster) taps.drop_links.push_back(link);
+  }
+  return taps;
+}
+
+BoundaryTrace record_boundary_trace(const ExperimentConfig& config) {
+  const net::ClosSpec spec = resolve_train_spec(config);
+
+  sim::Simulator sim{config.seed};
+  NetworkConfig net_cfg = config.net;
+  net_cfg.spec = spec;
+  auto network = build_full_network(sim, net_cfg);
+
+  constexpr std::uint32_t kModeledCluster = 1;
+  const auto taps = make_boundary_taps(network, kModeledCluster);
+  approx::TraceRecorder recorder{spec, kModeledCluster, taps};
+
+  auto sizes = make_sizes(config.workload);
+  workload::ClusterMixTraffic matrix{spec, config.intra_fraction};
+  workload::TrafficGenerator::Config gcfg;
+  gcfg.load = config.load;
+  gcfg.host_bandwidth_bps = config.net.host_uplink.bandwidth_bps;
+  gcfg.stop_at = config.train_duration;
+  auto* gen = sim.add_component<workload::TrafficGenerator>(
+      "train.gen", network.hosts, sizes.get(), &matrix, gcfg);
+  gen->start();
+
+  // Let in-flight traffic drain a little past the arrival cutoff so late
+  // boundary crossings complete.
+  sim.run_until(config.train_duration + sim::SimTime::from_ms(20));
+  recorder.finalize();
+
+  BoundaryTrace trace;
+  trace.spec = spec;
+  trace.cluster = kModeledCluster;
+  trace.records = recorder.records();
+  return trace;
+}
+
+TrainedModels train_from_trace(const ExperimentConfig& config,
+                               const BoundaryTrace& trace) {
+  TrainedModels out;
+  out.boundary_records = trace.records.size();
+
+  const auto ingress_ds =
+      approx::build_dataset(trace.spec, trace.cluster,
+                            approx::Direction::Ingress, trace.records,
+                            config.macro);
+  const auto egress_ds =
+      approx::build_dataset(trace.spec, trace.cluster,
+                            approx::Direction::Egress, trace.records,
+                            config.macro);
+
+  approx::MicroModel::Config mcfg = config.model;
+  out.ingress = std::make_unique<approx::MicroModel>(mcfg);
+  mcfg.seed += 1;
+  out.egress = std::make_unique<approx::MicroModel>(mcfg);
+
+  out.ingress_report =
+      approx::train_micro_model(*out.ingress, ingress_ds, config.train);
+  out.egress_report =
+      approx::train_micro_model(*out.egress, egress_ds, config.train);
+  return out;
+}
+
+TrainedModels train_cluster_models(const ExperimentConfig& config) {
+  return train_from_trace(config, record_boundary_trace(config));
+}
+
+RunResult run_full_simulation(const ExperimentConfig& config,
+                              const net::ClosSpec& spec) {
+  sim::Simulator sim{config.seed + 1};
+  NetworkConfig net_cfg = config.net;
+  net_cfg.spec = spec;
+  auto network = build_full_network(sim, net_cfg);
+
+  RunResult result;
+  stats::LatencyCollector rtt;
+  for (net::HostId h = 0; h < spec.total_hosts(); ++h) {
+    if (spec.cluster_of_host(h) == 0) {
+      network.hosts[h]->set_rtt_collector(&rtt);
+    }
+  }
+
+  auto sizes = make_sizes(config.workload);
+  workload::ClusterMixTraffic matrix{spec, config.intra_fraction};
+  workload::TrafficGenerator::Config gcfg;
+  gcfg.load = config.load;
+  gcfg.host_bandwidth_bps = config.net.host_uplink.bandwidth_bps;
+  gcfg.stop_at = config.duration;
+  auto* gen = sim.add_component<workload::TrafficGenerator>(
+      "gen", network.hosts, sizes.get(), &matrix, gcfg);
+  gen->start();
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.run_until(config.duration);
+  result.wall_seconds = wall_seconds_since(start);
+  result.events_executed = sim.events_executed();
+  result.events_scheduled = sim.events_scheduled();
+  result.rtt_cdf = rtt.cdf();
+  result.flows_launched = gen->launched();
+  result.flows_completed = gen->flows().completed_count();
+  if (result.flows_completed > 0) {
+    double sum = 0;
+    for (const auto& r : gen->flows().records()) {
+      if (r.completed) sum += r.fct().to_seconds();
+    }
+    result.mean_fct_seconds =
+        sum / static_cast<double>(result.flows_completed);
+  }
+  return result;
+}
+
+RunResult run_hybrid_simulation(const ExperimentConfig& config,
+                                const net::ClosSpec& spec,
+                                const TrainedModels& models) {
+  sim::Simulator sim{config.seed + 1};
+  HybridConfig hcfg;
+  hcfg.net = config.net;
+  hcfg.net.spec = spec;
+  hcfg.full_cluster = 0;
+  hcfg.approx = config.approx;
+  hcfg.approx.macro = config.macro;
+  auto network =
+      build_hybrid_network(sim, hcfg, *models.ingress, *models.egress);
+
+  RunResult result;
+  stats::LatencyCollector rtt;
+  for (net::HostId h = 0; h < spec.total_hosts(); ++h) {
+    if (spec.cluster_of_host(h) == 0) {
+      network.hosts[h]->set_rtt_collector(&rtt);
+    }
+  }
+
+  auto sizes = make_sizes(config.workload);
+  workload::ClusterMixTraffic matrix{spec, config.intra_fraction};
+  workload::TrafficGenerator::Config gcfg;
+  gcfg.load = config.load;
+  gcfg.host_bandwidth_bps = config.net.host_uplink.bandwidth_bps;
+  gcfg.stop_at = config.duration;
+  auto* gen = sim.add_component<workload::TrafficGenerator>(
+      "gen", network.hosts, sizes.get(), &matrix, gcfg);
+  // Elide traffic entirely between approximated clusters (paper §6.2):
+  // it cannot affect measurements taken in the full-fidelity cluster.
+  gen->admission_filter = [&spec](net::HostId src, net::HostId dst) {
+    return spec.cluster_of_host(src) == 0 || spec.cluster_of_host(dst) == 0;
+  };
+  gen->start();
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.run_until(config.duration);
+  result.wall_seconds = wall_seconds_since(start);
+  result.events_executed = sim.events_executed();
+  result.events_scheduled = sim.events_scheduled();
+  result.rtt_cdf = rtt.cdf();
+  result.flows_launched = gen->launched();
+  result.flows_completed = gen->flows().completed_count();
+  if (result.flows_completed > 0) {
+    double sum = 0;
+    for (const auto& r : gen->flows().records()) {
+      if (r.completed) sum += r.fct().to_seconds();
+    }
+    result.mean_fct_seconds =
+        sum / static_cast<double>(result.flows_completed);
+  }
+  for (auto* cluster : network.clusters) {
+    if (cluster == nullptr) continue;
+    result.approx_stats.egress_packets += cluster->stats().egress_packets;
+    result.approx_stats.ingress_packets += cluster->stats().ingress_packets;
+    result.approx_stats.intra_packets += cluster->stats().intra_packets;
+    result.approx_stats.predicted_drops += cluster->stats().predicted_drops;
+    result.approx_stats.conflicts_resolved +=
+        cluster->stats().conflicts_resolved;
+    result.approx_stats.backlog_drops += cluster->stats().backlog_drops;
+  }
+  return result;
+}
+
+}  // namespace esim::core

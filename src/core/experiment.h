@@ -1,0 +1,114 @@
+// End-to-end experiment pipeline, mirroring the paper's workflow (§3):
+//   1. simulate a small network (two clusters) in full packet-level
+//      fidelity to generate training data at one cluster's boundary,
+//   2. train the ingress/egress micro models,
+//   3. assemble a large simulation where all but one cluster is replaced
+//      by the trained models,
+//   4. compare accuracy (Figure 4) and speed (Figure 5) against the full
+//      simulation of the same topology.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "approx/micro_model.h"
+#include "approx/trace.h"
+#include "approx/trainer.h"
+#include "core/full_builder.h"
+#include "core/hybrid_builder.h"
+#include "stats/cdf.h"
+
+namespace esim::core {
+
+/// Flow-size scale for the workload (full DCTCP web-search distribution,
+/// or the 1/100-scale variant that finishes statistically many flows in
+/// short runs).
+enum class WorkloadScale { Mini, FullWebSearch };
+
+/// Everything one accuracy/speed experiment needs.
+struct ExperimentConfig {
+  /// Link/TCP parameters and the *run* topology (fig5 sweeps clusters).
+  NetworkConfig net;
+  /// Topology used for training (paper: two clusters). Defaults to the
+  /// run topology with `clusters` forced to 2 when left zero-initialised.
+  net::ClosSpec train_spec;
+  /// Offered load (fraction of aggregate host bandwidth).
+  double load = 0.3;
+  /// Fraction of flows staying inside their source cluster.
+  double intra_fraction = 0.4;
+  /// Simulated span of the measurement runs.
+  sim::SimTime duration = sim::SimTime::from_ms(50);
+  /// Simulated span of the training-data run.
+  sim::SimTime train_duration = sim::SimTime::from_ms(50);
+  /// Root seed (training uses seed, runs use seed+1 so the hybrid and
+  /// full runs see the same workload stream).
+  std::uint64_t seed = 1;
+  WorkloadScale workload = WorkloadScale::Mini;
+  /// Micro-model architecture and training hyper-parameters.
+  approx::MicroModel::Config model;
+  approx::TrainConfig train;
+  /// Macro classifier configuration (shared by training and runtime).
+  approx::MacroClassifier::Config macro;
+  /// Runtime behaviour of approximated clusters.
+  ApproxCluster::Config approx;
+};
+
+/// The trained pair of boundary models plus training diagnostics.
+struct TrainedModels {
+  std::unique_ptr<approx::MicroModel> ingress;
+  std::unique_ptr<approx::MicroModel> egress;
+  approx::TrainReport ingress_report;
+  approx::TrainReport egress_report;
+  std::size_t boundary_records = 0;
+};
+
+/// Collects the boundary links of `cluster` from a full build, for trace
+/// recording.
+approx::BoundaryTaps make_boundary_taps(const BuiltNetwork& network,
+                                        std::uint32_t cluster);
+
+/// A recorded training trace (step 1 of the pipeline): the boundary
+/// records of cluster 1 in a full-fidelity run of the training topology.
+struct BoundaryTrace {
+  net::ClosSpec spec;
+  std::uint32_t cluster = 1;
+  std::vector<approx::BoundaryRecord> records;
+};
+
+/// Step 1: run the training topology at full fidelity and record the
+/// boundary of cluster 1.
+BoundaryTrace record_boundary_trace(const ExperimentConfig& config);
+
+/// Step 2: build datasets from a trace and train both direction models.
+/// Separated from recording so ablation studies can retrain on one trace.
+TrainedModels train_from_trace(const ExperimentConfig& config,
+                               const BoundaryTrace& trace);
+
+/// Steps 1–2 together (record, then train).
+TrainedModels train_cluster_models(const ExperimentConfig& config);
+
+/// Measurements from one simulation run.
+struct RunResult {
+  double wall_seconds = 0.0;
+  std::uint64_t events_executed = 0;
+  std::uint64_t events_scheduled = 0;
+  stats::EmpiricalCdf rtt_cdf;  ///< RTTs seen by full-fidelity hosts
+  std::uint64_t flows_launched = 0;
+  std::uint64_t flows_completed = 0;
+  double mean_fct_seconds = 0.0;
+  /// Hybrid runs only: totals across ApproxClusters.
+  ApproxCluster::Stats approx_stats;
+};
+
+/// Step 4a: the groundtruth run of `spec` at full fidelity.
+RunResult run_full_simulation(const ExperimentConfig& config,
+                              const net::ClosSpec& spec);
+
+/// Step 4b: the same topology with every cluster but cluster 0 replaced
+/// by the trained models. Traffic wholly between approximated clusters is
+/// elided via the workload admission filter (paper §6.2).
+RunResult run_hybrid_simulation(const ExperimentConfig& config,
+                                const net::ClosSpec& spec,
+                                const TrainedModels& models);
+
+}  // namespace esim::core

@@ -1,0 +1,75 @@
+// Full-fidelity network assembly: instantiates hosts, switches, and links
+// for a ClosSpec inside one Simulator, wiring FIBs so that forwarding
+// matches net::compute_path's ECMP replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/clos.h"
+#include "net/link.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+#include "tcp/host.h"
+
+namespace esim::core {
+
+/// Link/queue/TCP parameters shared by all builders.
+struct NetworkConfig {
+  net::ClosSpec spec;
+
+  /// Host NIC uplink (host -> ToR): big TX buffer so a burst of one
+  /// congestion window never self-drops at the sender.
+  net::Link::Config host_uplink{
+      .bandwidth_bps = 10e9,
+      .propagation = sim::SimTime::from_us(1),
+      .queue_capacity_bytes = 4'000'000,
+  };
+
+  /// Switch output ports (ToR -> host, ToR <-> Agg, Agg <-> Core): shallow
+  /// data-center buffers (~100 full packets), where congestion drops
+  /// happen.
+  net::Link::Config fabric_link{
+      .bandwidth_bps = 10e9,
+      .propagation = sim::SimTime::from_us(1),
+      .queue_capacity_bytes = 150'000,
+  };
+
+  /// Forwarding pipeline latency per switch.
+  sim::SimTime switch_processing;
+
+  /// TCP parameters for every host.
+  tcp::TcpConnection::Config tcp;
+};
+
+/// One agg<->core link pair (both directions), with its coordinates.
+struct CoreAttachment {
+  std::uint32_t cluster = 0;
+  std::uint32_t agg = 0;   // index within the cluster
+  std::uint32_t core = 0;  // core switch index
+  net::Link* up = nullptr;    // agg -> core
+  net::Link* down = nullptr;  // core -> agg
+};
+
+/// Handles to everything a full-fidelity build created. All raw pointers
+/// are owned by the Simulator.
+struct BuiltNetwork {
+  net::ClosSpec spec;
+  std::vector<tcp::Host*> hosts;            // dense by HostId
+  std::vector<net::Switch*> switches;       // dense by SwitchId
+  std::vector<net::Link*> host_uplinks;     // [HostId] host -> ToR
+  std::vector<net::Link*> host_downlinks;   // [HostId] ToR -> host
+  std::vector<CoreAttachment> core_links;   // empty for leaf-spine
+  /// ToR<->Agg links, tagged with their cluster (both directions).
+  std::vector<std::pair<std::uint32_t, net::Link*>> intra_fabric_links;
+
+  /// Convenience: the agg->core uplinks of one cluster.
+  std::vector<const CoreAttachment*> attachments_of(
+      std::uint32_t cluster) const;
+};
+
+/// Builds the complete topology in `sim`. The spec must validate.
+BuiltNetwork build_full_network(sim::Simulator& sim,
+                                const NetworkConfig& config);
+
+}  // namespace esim::core

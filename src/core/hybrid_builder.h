@@ -1,0 +1,50 @@
+// Hybrid network assembly: one full-fidelity cluster + all core switches,
+// with every other cluster's fabric replaced by an ApproxCluster (the
+// at-scale configuration of the paper's Figure 3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "approx/micro_model.h"
+#include "core/approx_cluster.h"
+#include "core/full_builder.h"
+
+namespace esim::core {
+
+/// Handles to a hybrid build. Raw pointers owned by the Simulator.
+/// Entries for components that do not exist in hybrid mode (the ToR/Agg
+/// switches and host downlinks of approximated clusters) are nullptr.
+struct HybridNetwork {
+  net::ClosSpec spec;
+  std::uint32_t full_cluster = 0;
+  std::vector<tcp::Host*> hosts;           // dense, all clusters
+  std::vector<net::Switch*> switches;      // full cluster + cores only
+  std::vector<ApproxCluster*> clusters;    // per cluster; full one nullptr
+  std::vector<net::Link*> host_uplinks;    // dense, all hosts
+  std::vector<net::Link*> host_downlinks;  // full cluster hosts only
+  std::vector<CoreAttachment> core_links;  // full cluster only
+
+  /// True if `h` lives in the full-fidelity cluster.
+  bool is_full_fidelity(net::HostId h) const {
+    return spec.cluster_of_host(h) == full_cluster;
+  }
+};
+
+/// Extra knobs for the approximated clusters.
+struct HybridConfig {
+  NetworkConfig net;
+  /// Which cluster stays full-fidelity.
+  std::uint32_t full_cluster = 0;
+  /// ApproxCluster behaviour (spec/cluster fields are filled per cluster).
+  ApproxCluster::Config approx;
+};
+
+/// Builds the hybrid topology in `sim`, copying the trained models into
+/// each ApproxCluster. Requires spec.clusters >= 2.
+HybridNetwork build_hybrid_network(sim::Simulator& sim,
+                                   const HybridConfig& config,
+                                   const approx::MicroModel& ingress_model,
+                                   const approx::MicroModel& egress_model);
+
+}  // namespace esim::core

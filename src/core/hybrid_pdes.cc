@@ -1,0 +1,247 @@
+#include "core/hybrid_pdes.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace esim::core {
+
+using net::ClosSpec;
+using net::HostId;
+using net::Link;
+using net::Switch;
+using net::SwitchId;
+
+PartitionedHybridNetwork build_hybrid_network_partitioned(
+    sim::ParallelEngine& engine, const HybridConfig& config,
+    const approx::MicroModel& ingress_model,
+    const approx::MicroModel& egress_model) {
+  const ClosSpec& spec = config.net.spec;
+  spec.validate();
+  if (spec.clusters < 2) {
+    throw std::invalid_argument(
+        "build_hybrid_network_partitioned: need >= 2 clusters");
+  }
+  if (config.full_cluster >= spec.clusters) {
+    throw std::invalid_argument(
+        "build_hybrid_network_partitioned: bad full_cluster");
+  }
+  if (engine.lookahead() > config.net.fabric_link.propagation) {
+    throw std::invalid_argument(
+        "build_hybrid_network_partitioned: lookahead exceeds fabric link "
+        "propagation");
+  }
+  if (engine.lookahead().to_seconds() > config.approx.min_latency_s) {
+    throw std::invalid_argument(
+        "build_hybrid_network_partitioned: lookahead exceeds the model's "
+        "minimum latency (egress deliveries would violate causality)");
+  }
+  const std::uint32_t full = config.full_cluster;
+  const std::uint32_t P = engine.num_partitions();
+
+  PartitionedHybridNetwork out;
+  HybridNetwork& net = out.net;
+  net.spec = spec;
+  net.full_cluster = full;
+  net.hosts.resize(spec.total_hosts());
+  net.switches.assign(spec.total_switches(), nullptr);
+  net.clusters.assign(spec.clusters, nullptr);
+  net.host_uplinks.resize(spec.total_hosts());
+  net.host_downlinks.assign(spec.total_hosts(), nullptr);
+  out.partition_of_host.assign(spec.total_hosts(), 0);
+  out.partition_of_cluster.assign(spec.clusters, 0);
+
+  // Placement: approximated clusters round-robin over partitions 1..P-1
+  // (or all on 0 when the engine has a single partition).
+  {
+    std::uint32_t next = 0;
+    for (std::uint32_t c = 0; c < spec.clusters; ++c) {
+      if (c == full) continue;
+      out.partition_of_cluster[c] = P > 1 ? 1 + (next++ % (P - 1)) : 0;
+    }
+  }
+
+  auto& sim0 = engine.partition(0).sim();
+
+  // --- components ---
+  for (HostId h = 0; h < spec.total_hosts(); ++h) {
+    const std::uint32_t c = spec.cluster_of_host(h);
+    const std::uint32_t p =
+        c == full ? 0 : out.partition_of_cluster[c];
+    out.partition_of_host[h] = p;
+    net.hosts[h] = engine.partition(p).sim().add_component<tcp::Host>(
+        spec.host_name(h), h, config.net.tcp);
+  }
+  for (std::uint32_t t = 0; t < spec.tors_per_cluster; ++t) {
+    const SwitchId id = spec.tor_id(full, t);
+    net.switches[id] = sim0.add_component<Switch>(
+        spec.tor_name(full, t), id, config.net.switch_processing);
+  }
+  for (std::uint32_t a = 0; a < spec.aggs_per_cluster; ++a) {
+    const SwitchId id = spec.agg_id(full, a);
+    net.switches[id] = sim0.add_component<Switch>(
+        spec.agg_name(full, a), id, config.net.switch_processing);
+  }
+  for (std::uint32_t k = 0; k < spec.cores; ++k) {
+    const SwitchId id = spec.core_id(k);
+    net.switches[id] = sim0.add_component<Switch>(
+        spec.core_name(k), id, config.net.switch_processing);
+  }
+  for (std::uint32_t c = 0; c < spec.clusters; ++c) {
+    if (c == full) continue;
+    ApproxCluster::Config acfg = config.approx;
+    acfg.spec = spec;
+    acfg.cluster = c;
+    const std::uint32_t p = out.partition_of_cluster[c];
+    net.clusters[c] =
+        engine.partition(p).sim().add_component<ApproxCluster>(
+            "approx.c" + std::to_string(c), acfg, ingress_model,
+            egress_model);
+  }
+
+  auto link_name = [](const std::string& a, const std::string& b) {
+    return a + "->" + b;
+  };
+  auto cross = [&engine](std::uint32_t from, std::uint32_t to) {
+    return [&engine, from, to](sim::SimTime at, std::function<void()> fn) {
+      engine.send_cross(from, to, at, std::move(fn));
+    };
+  };
+
+  std::vector<std::unordered_map<std::uint64_t, std::uint32_t>> port_of(
+      spec.total_switches());
+  constexpr std::uint64_t kHostKey = 1ULL << 40;
+  constexpr std::uint64_t kSwitchKey = 2ULL << 40;
+  constexpr std::uint64_t kClusterKey = 3ULL << 40;
+
+  // --- full cluster + cores, all partition-0-local ---
+  for (HostId h = 0; h < spec.total_hosts(); ++h) {
+    const std::uint32_t c = spec.cluster_of_host(h);
+    tcp::Host* host = net.hosts[h];
+    if (c == full) {
+      Switch* tor_sw = net.switches[spec.tor_of_host(h)];
+      auto* up = sim0.add_component<Link>(
+          link_name(host->name(), tor_sw->name()), config.net.host_uplink,
+          tor_sw);
+      auto* down = sim0.add_component<Link>(
+          link_name(tor_sw->name(), host->name()), config.net.fabric_link,
+          host);
+      host->set_uplink(up);
+      net.host_uplinks[h] = up;
+      net.host_downlinks[h] = down;
+      port_of[tor_sw->id()][kHostKey | h] = tor_sw->add_port(down);
+    } else {
+      // Host and its ApproxCluster share a partition: local link.
+      ApproxCluster* cluster = net.clusters[c];
+      auto& psim = engine.partition(out.partition_of_host[h]).sim();
+      auto* up = psim.add_component<Link>(
+          link_name(host->name(), cluster->name()), config.net.host_uplink,
+          cluster);
+      host->set_uplink(up);
+      net.host_uplinks[h] = up;
+      cluster->attach_host(h, host);
+    }
+  }
+  for (std::uint32_t t = 0; t < spec.tors_per_cluster; ++t) {
+    Switch* tor_sw = net.switches[spec.tor_id(full, t)];
+    for (std::uint32_t a = 0; a < spec.aggs_per_cluster; ++a) {
+      Switch* agg_sw = net.switches[spec.agg_id(full, a)];
+      auto* up = sim0.add_component<Link>(
+          link_name(tor_sw->name(), agg_sw->name()), config.net.fabric_link,
+          agg_sw);
+      auto* down = sim0.add_component<Link>(
+          link_name(agg_sw->name(), tor_sw->name()), config.net.fabric_link,
+          tor_sw);
+      port_of[tor_sw->id()][kSwitchKey | agg_sw->id()] = tor_sw->add_port(up);
+      port_of[agg_sw->id()][kSwitchKey | tor_sw->id()] =
+          agg_sw->add_port(down);
+    }
+  }
+  for (std::uint32_t a = 0; a < spec.aggs_per_cluster; ++a) {
+    Switch* agg_sw = net.switches[spec.agg_id(full, a)];
+    for (std::uint32_t k = 0; k < spec.cores; ++k) {
+      Switch* core_sw = net.switches[spec.core_id(k)];
+      auto* up = sim0.add_component<Link>(
+          link_name(agg_sw->name(), core_sw->name()), config.net.fabric_link,
+          core_sw);
+      auto* down = sim0.add_component<Link>(
+          link_name(core_sw->name(), agg_sw->name()), config.net.fabric_link,
+          agg_sw);
+      port_of[agg_sw->id()][kSwitchKey | core_sw->id()] =
+          agg_sw->add_port(up);
+      port_of[core_sw->id()][kSwitchKey | agg_sw->id()] =
+          core_sw->add_port(down);
+      net.core_links.push_back(CoreAttachment{full, a, k, up, down});
+    }
+  }
+
+  // --- core <-> approximated clusters (the only cross-partition edges) ---
+  for (std::uint32_t k = 0; k < spec.cores; ++k) {
+    Switch* core_sw = net.switches[spec.core_id(k)];
+    for (std::uint32_t c = 0; c < spec.clusters; ++c) {
+      if (c == full) continue;
+      ApproxCluster* cluster = net.clusters[c];
+      const std::uint32_t pc = out.partition_of_cluster[c];
+      auto* down = sim0.add_component<Link>(
+          link_name(core_sw->name(), cluster->name()),
+          config.net.fabric_link, cluster);
+      if (pc != 0) down->set_remote_scheduler(cross(0, pc));
+      port_of[core_sw->id()][kClusterKey | c] = core_sw->add_port(down);
+      cluster->attach_core(k, core_sw);
+      if (pc != 0) cluster->set_core_remote(k, cross(pc, 0));
+    }
+  }
+
+  // --- FIBs (identical rules to the sequential hybrid build) ---
+  for (HostId dst = 0; dst < spec.total_hosts(); ++dst) {
+    const std::uint32_t dst_cluster = spec.cluster_of_host(dst);
+    const SwitchId dst_tor = spec.tor_of_host(dst);
+    for (std::uint32_t t = 0; t < spec.tors_per_cluster; ++t) {
+      Switch* tor_sw = net.switches[spec.tor_id(full, t)];
+      if (tor_sw->id() == dst_tor && dst_cluster == full) {
+        tor_sw->set_route(dst, {port_of[tor_sw->id()].at(kHostKey | dst)});
+      } else {
+        std::vector<std::uint32_t> ups;
+        for (std::uint32_t a = 0; a < spec.aggs_per_cluster; ++a) {
+          ups.push_back(
+              port_of[tor_sw->id()].at(kSwitchKey | spec.agg_id(full, a)));
+        }
+        tor_sw->set_route(dst, std::move(ups));
+      }
+    }
+    for (std::uint32_t a = 0; a < spec.aggs_per_cluster; ++a) {
+      Switch* agg_sw = net.switches[spec.agg_id(full, a)];
+      if (dst_cluster == full) {
+        agg_sw->set_route(dst,
+                          {port_of[agg_sw->id()].at(kSwitchKey | dst_tor)});
+      } else {
+        std::vector<std::uint32_t> ups;
+        for (std::uint32_t k = 0; k < spec.cores; ++k) {
+          ups.push_back(
+              port_of[agg_sw->id()].at(kSwitchKey | spec.core_id(k)));
+        }
+        agg_sw->set_route(dst, std::move(ups));
+      }
+    }
+    for (std::uint32_t k = 0; k < spec.cores; ++k) {
+      Switch* core_sw = net.switches[spec.core_id(k)];
+      if (dst_cluster == full) {
+        std::vector<std::uint32_t> downs;
+        for (std::uint32_t a = 0; a < spec.aggs_per_cluster; ++a) {
+          downs.push_back(port_of[core_sw->id()].at(
+              kSwitchKey | spec.agg_id(full, a)));
+        }
+        core_sw->set_route(dst, std::move(downs));
+      } else {
+        core_sw->set_route(
+            dst, {port_of[core_sw->id()].at(kClusterKey | dst_cluster)});
+      }
+    }
+  }
+
+  for (auto* cluster : net.clusters) {
+    if (cluster != nullptr) cluster->start();
+  }
+  return out;
+}
+
+}  // namespace esim::core

@@ -1,0 +1,147 @@
+#include "core/pdes_builder.h"
+
+#include <stdexcept>
+
+namespace esim::core {
+
+using net::ClosSpec;
+using net::HostId;
+using net::Link;
+using net::Switch;
+using net::SwitchId;
+
+PdesNetwork build_leaf_spine_partitioned(sim::ParallelEngine& engine,
+                                         const NetworkConfig& config) {
+  const ClosSpec& spec = config.spec;
+  spec.validate();
+  if (spec.clusters != 1 || spec.cores != 0) {
+    throw std::invalid_argument(
+        "build_leaf_spine_partitioned: spec must be leaf-spine");
+  }
+  if (engine.lookahead() > config.fabric_link.propagation ||
+      engine.lookahead() > config.host_uplink.propagation) {
+    throw std::invalid_argument(
+        "build_leaf_spine_partitioned: engine lookahead exceeds link "
+        "propagation (causality would break)");
+  }
+  const std::uint32_t P = engine.num_partitions();
+
+  PdesNetwork out;
+  out.spec = spec;
+  out.hosts.resize(spec.total_hosts());
+  out.switches.resize(spec.total_switches());
+  out.partition_of_switch.resize(spec.total_switches());
+  out.partition_of_host.resize(spec.total_hosts());
+
+  // Placement: rack r -> partition r % P; spine s keeps rotating after.
+  for (std::uint32_t t = 0; t < spec.tors_per_cluster; ++t) {
+    out.partition_of_switch[spec.tor_id(0, t)] = t % P;
+  }
+  for (std::uint32_t s = 0; s < spec.aggs_per_cluster; ++s) {
+    out.partition_of_switch[spec.agg_id(0, s)] =
+        (spec.tors_per_cluster + s) % P;
+  }
+  for (HostId h = 0; h < spec.total_hosts(); ++h) {
+    out.partition_of_host[h] =
+        out.partition_of_switch[spec.tor_of_host(h)];
+  }
+
+  // Components, each inside its partition's simulator.
+  for (std::uint32_t t = 0; t < spec.tors_per_cluster; ++t) {
+    const SwitchId id = spec.tor_id(0, t);
+    auto& psim = engine.partition(out.partition_of_switch[id]).sim();
+    out.switches[id] = psim.add_component<Switch>(
+        spec.tor_name(0, t), id, config.switch_processing);
+  }
+  for (std::uint32_t s = 0; s < spec.aggs_per_cluster; ++s) {
+    const SwitchId id = spec.agg_id(0, s);
+    auto& psim = engine.partition(out.partition_of_switch[id]).sim();
+    out.switches[id] = psim.add_component<Switch>(
+        spec.agg_name(0, s), id, config.switch_processing);
+  }
+  for (HostId h = 0; h < spec.total_hosts(); ++h) {
+    auto& psim = engine.partition(out.partition_of_host[h]).sim();
+    out.hosts[h] =
+        psim.add_component<tcp::Host>(spec.host_name(h), h, config.tcp);
+  }
+
+  auto make_link = [&](std::uint32_t owner_partition, const std::string& name,
+                       const Link::Config& lcfg, net::PacketHandler* dst,
+                       std::uint32_t dst_partition) {
+    auto& psim = engine.partition(owner_partition).sim();
+    Link* link = psim.add_component<Link>(name, lcfg, dst);
+    if (owner_partition != dst_partition) {
+      link->set_remote_scheduler(
+          [&engine, owner_partition, dst_partition](
+              sim::SimTime at, std::function<void()> fn) {
+            engine.send_cross(owner_partition, dst_partition, at,
+                              std::move(fn));
+          });
+      ++out.cross_partition_links;
+    }
+    return link;
+  };
+
+  // Host <-> ToR (always partition-local by placement).
+  std::vector<std::vector<std::uint32_t>> tor_host_port(
+      spec.total_switches());
+  for (HostId h = 0; h < spec.total_hosts(); ++h) {
+    const SwitchId tor = spec.tor_of_host(h);
+    const std::uint32_t p = out.partition_of_host[h];
+    Switch* tor_sw = out.switches[tor];
+    tcp::Host* host = out.hosts[h];
+    Link* up = make_link(p, host->name() + "->" + tor_sw->name(),
+                         config.host_uplink, tor_sw, p);
+    Link* down = make_link(p, tor_sw->name() + "->" + host->name(),
+                           config.fabric_link, host, p);
+    host->set_uplink(up);
+    tor_host_port[tor].push_back(tor_sw->add_port(down));
+  }
+
+  // ToR <-> spine full mesh (mostly cross-partition).
+  std::vector<std::vector<std::uint32_t>> tor_up_port(spec.total_switches());
+  std::vector<std::vector<std::uint32_t>> spine_down_port(
+      spec.total_switches());
+  for (std::uint32_t t = 0; t < spec.tors_per_cluster; ++t) {
+    const SwitchId tor = spec.tor_id(0, t);
+    Switch* tor_sw = out.switches[tor];
+    const std::uint32_t pt = out.partition_of_switch[tor];
+    for (std::uint32_t s = 0; s < spec.aggs_per_cluster; ++s) {
+      const SwitchId spine = spec.agg_id(0, s);
+      Switch* spine_sw = out.switches[spine];
+      const std::uint32_t ps = out.partition_of_switch[spine];
+      Link* up = make_link(pt, tor_sw->name() + "->" + spine_sw->name(),
+                           config.fabric_link, spine_sw, ps);
+      Link* down = make_link(ps, spine_sw->name() + "->" + tor_sw->name(),
+                             config.fabric_link, tor_sw, pt);
+      tor_up_port[tor].push_back(tor_sw->add_port(up));
+      spine_down_port[spine].push_back(spine_sw->add_port(down));
+    }
+  }
+
+  // FIBs. ToR uplink candidates are in ascending spine order by
+  // construction; spine_down_port[spine][t] is the port toward ToR t.
+  for (HostId dst = 0; dst < spec.total_hosts(); ++dst) {
+    const SwitchId dst_tor = spec.tor_of_host(dst);
+    const std::uint32_t dst_tor_index = spec.tor_index_of_host(dst);
+    for (std::uint32_t t = 0; t < spec.tors_per_cluster; ++t) {
+      const SwitchId tor = spec.tor_id(0, t);
+      Switch* tor_sw = out.switches[tor];
+      if (tor == dst_tor) {
+        tor_sw->set_route(dst,
+                          {tor_host_port[tor][dst % spec.hosts_per_tor]});
+      } else {
+        tor_sw->set_route(dst, tor_up_port[tor]);
+      }
+    }
+    for (std::uint32_t s = 0; s < spec.aggs_per_cluster; ++s) {
+      const SwitchId spine = spec.agg_id(0, s);
+      out.switches[spine]->set_route(dst,
+                                     {spine_down_port[spine][dst_tor_index]});
+    }
+  }
+
+  return out;
+}
+
+}  // namespace esim::core

@@ -1,0 +1,38 @@
+// Partitioned leaf-spine assembly for the PDES experiment (Figure 1).
+//
+// Racks (a ToR plus its hosts) and spine switches are distributed
+// round-robin over the engine's partitions; every ToR connects to every
+// spine, so most fabric links cross partitions — the dense
+// interconnection that makes conservative PDES struggle on data center
+// topologies (paper §2.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/full_builder.h"
+#include "sim/parallel.h"
+
+namespace esim::core {
+
+/// Handles to a partitioned build. Pointers are owned by the partitions'
+/// simulators; index i of `hosts`/`switches` is the dense id.
+struct PdesNetwork {
+  net::ClosSpec spec;
+  std::vector<tcp::Host*> hosts;
+  std::vector<net::Switch*> switches;
+  /// Partition owning each switch (dense by switch id).
+  std::vector<std::uint32_t> partition_of_switch;
+  /// Partition owning each host.
+  std::vector<std::uint32_t> partition_of_host;
+  /// Fabric links that cross partitions (for accounting).
+  std::uint64_t cross_partition_links = 0;
+};
+
+/// Builds a leaf-spine (spec.clusters == 1, spec.cores == 0) across the
+/// engine's partitions. The engine's lookahead must be <= the fabric
+/// link propagation delay (checked).
+PdesNetwork build_leaf_spine_partitioned(sim::ParallelEngine& engine,
+                                         const NetworkConfig& config);
+
+}  // namespace esim::core

@@ -1,0 +1,221 @@
+#include "flowsim/flow_level.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "net/ecmp.h"
+
+namespace esim::flowsim {
+
+FlowLevelSimulator::FlowLevelSimulator(const net::ClosSpec& spec,
+                                       double bandwidth_bps)
+    : spec_{spec}, bandwidth_bps_{bandwidth_bps} {
+  spec_.validate();
+  if (bandwidth_bps <= 0) {
+    throw std::invalid_argument("FlowLevelSimulator: bandwidth must be > 0");
+  }
+  const std::size_t hosts = spec_.total_hosts();
+  const std::size_t tor_agg =
+      static_cast<std::size_t>(spec_.clusters) * spec_.tors_per_cluster *
+      spec_.aggs_per_cluster;
+  const std::size_t agg_core = static_cast<std::size_t>(spec_.clusters) *
+                               spec_.aggs_per_cluster * spec_.cores;
+  link_count_ = 2 * hosts + 2 * tor_agg + 2 * agg_core;
+}
+
+std::uint32_t FlowLevelSimulator::uplink_id(net::HostId h) const {
+  return h;
+}
+
+std::uint32_t FlowLevelSimulator::downlink_id(net::HostId h) const {
+  return spec_.total_hosts() + h;
+}
+
+std::uint32_t FlowLevelSimulator::tor_agg_id(std::uint32_t cluster,
+                                             std::uint32_t tor,
+                                             std::uint32_t agg,
+                                             bool up) const {
+  const std::uint32_t base = 2 * spec_.total_hosts();
+  const std::uint32_t per_dir = spec_.clusters * spec_.tors_per_cluster *
+                                spec_.aggs_per_cluster;
+  const std::uint32_t index =
+      (cluster * spec_.tors_per_cluster + tor) * spec_.aggs_per_cluster +
+      agg;
+  return base + (up ? 0 : per_dir) + index;
+}
+
+std::uint32_t FlowLevelSimulator::agg_core_id(std::uint32_t cluster,
+                                              std::uint32_t agg,
+                                              std::uint32_t core,
+                                              bool up) const {
+  const std::uint32_t base =
+      2 * spec_.total_hosts() +
+      2 * spec_.clusters * spec_.tors_per_cluster * spec_.aggs_per_cluster;
+  const std::uint32_t per_dir =
+      spec_.clusters * spec_.aggs_per_cluster * spec_.cores;
+  const std::uint32_t index =
+      (cluster * spec_.aggs_per_cluster + agg) * spec_.cores + core;
+  return base + (up ? 0 : per_dir) + index;
+}
+
+std::vector<std::uint32_t> FlowLevelSimulator::route(net::HostId src,
+                                                     net::HostId dst) const {
+  net::FlowKey key{src, dst, 0, 80};
+  const auto path = net::compute_path(spec_, key);
+  std::vector<std::uint32_t> links;
+  links.push_back(uplink_id(src));
+  if (path.len == 3) {
+    const std::uint32_t c = spec_.cluster_of_host(src);
+    const std::uint32_t tor_src = path.hops[0] - spec_.tor_id(c, 0);
+    const std::uint32_t tor_dst = path.hops[2] - spec_.tor_id(c, 0);
+    const std::uint32_t agg =
+        path.hops[1] - spec_.agg_id(c, 0);
+    links.push_back(tor_agg_id(c, tor_src, agg, /*up=*/true));
+    links.push_back(tor_agg_id(c, tor_dst, agg, /*up=*/false));
+  } else if (path.len == 5) {
+    const std::uint32_t cs = spec_.cluster_of_host(src);
+    const std::uint32_t cd = spec_.cluster_of_host(dst);
+    const std::uint32_t tor_src = path.hops[0] - spec_.tor_id(cs, 0);
+    const std::uint32_t agg_src = path.hops[1] - spec_.agg_id(cs, 0);
+    const std::uint32_t core = path.hops[2] - spec_.core_id(0);
+    const std::uint32_t agg_dst = path.hops[3] - spec_.agg_id(cd, 0);
+    const std::uint32_t tor_dst = path.hops[4] - spec_.tor_id(cd, 0);
+    links.push_back(tor_agg_id(cs, tor_src, agg_src, true));
+    links.push_back(agg_core_id(cs, agg_src, core, true));
+    links.push_back(agg_core_id(cd, agg_dst, core, false));
+    links.push_back(tor_agg_id(cd, tor_dst, agg_dst, false));
+  }
+  links.push_back(downlink_id(dst));
+  return links;
+}
+
+void FlowLevelSimulator::add_flow(std::uint64_t id, net::HostId src,
+                                  net::HostId dst, std::uint64_t bytes,
+                                  sim::SimTime arrival) {
+  if (src == dst || src >= spec_.total_hosts() ||
+      dst >= spec_.total_hosts()) {
+    throw std::invalid_argument("FlowLevelSimulator: bad endpoints");
+  }
+  PendingFlow f;
+  f.id = id;
+  f.src = src;
+  f.dst = dst;
+  f.bytes_total = std::max<std::uint64_t>(bytes, 1);
+  f.remaining = static_cast<double>(f.bytes_total);
+  f.arrival = arrival;
+  f.links = route(src, dst);
+  flows_.push_back(std::move(f));
+}
+
+void FlowLevelSimulator::recompute_rates(std::vector<PendingFlow*>& active,
+                                         std::vector<double>& rates) const {
+  // Progressive filling: repeatedly find the link with the smallest fair
+  // share among unfrozen flows, freeze those flows at that share.
+  const std::size_t n = active.size();
+  rates.assign(n, -1.0);
+  std::vector<double> capacity(link_count_, bandwidth_bps_);
+  std::vector<std::uint32_t> load(link_count_, 0);
+  for (const auto* f : active) {
+    for (auto l : f->links) ++load[l];
+  }
+  std::size_t frozen = 0;
+  while (frozen < n) {
+    double best_share = std::numeric_limits<double>::infinity();
+    std::uint32_t best_link = 0;
+    bool found = false;
+    for (std::uint32_t l = 0; l < link_count_; ++l) {
+      if (load[l] == 0) continue;
+      const double share = capacity[l] / load[l];
+      if (share < best_share) {
+        best_share = share;
+        best_link = l;
+        found = true;
+      }
+    }
+    if (!found) break;  // defensive: every flow uses >= 1 link
+    for (std::size_t i = 0; i < n; ++i) {
+      if (rates[i] >= 0) continue;
+      auto& f = *active[i];
+      if (std::find(f.links.begin(), f.links.end(), best_link) ==
+          f.links.end()) {
+        continue;
+      }
+      rates[i] = best_share;
+      ++frozen;
+      for (auto l : f.links) {
+        capacity[l] -= best_share;
+        --load[l];
+      }
+    }
+    // Numerical hygiene: the bottleneck link ends exactly exhausted.
+    capacity[best_link] = std::max(capacity[best_link], 0.0);
+    load[best_link] = 0;
+  }
+}
+
+void FlowLevelSimulator::run() {
+  std::sort(flows_.begin(), flows_.end(),
+            [](const PendingFlow& a, const PendingFlow& b) {
+              if (a.arrival != b.arrival) return a.arrival < b.arrival;
+              return a.id < b.id;
+            });
+
+  std::vector<PendingFlow*> active;
+  std::vector<double> rates;
+  std::size_t next_arrival = 0;
+  double now_s = 0.0;
+
+  while (!active.empty() || next_arrival < flows_.size()) {
+    // Admit arrivals at the current instant.
+    if (active.empty() && next_arrival < flows_.size()) {
+      now_s = std::max(now_s, flows_[next_arrival].arrival.to_seconds());
+    }
+    while (next_arrival < flows_.size() &&
+           flows_[next_arrival].arrival.to_seconds() <= now_s + 1e-15) {
+      active.push_back(&flows_[next_arrival]);
+      ++next_arrival;
+    }
+
+    recompute_rates(active, rates);
+    ++recomputations_;
+
+    // Earliest completion among active flows at these rates.
+    double dt_complete = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const double r = rates[i] / 8.0;  // bytes/sec
+      if (r > 0) {
+        dt_complete = std::min(dt_complete, active[i]->remaining / r);
+      }
+    }
+    // Time until the next arrival.
+    double dt_arrival = std::numeric_limits<double>::infinity();
+    if (next_arrival < flows_.size()) {
+      dt_arrival = flows_[next_arrival].arrival.to_seconds() - now_s;
+    }
+
+    const double dt = std::min(dt_complete, dt_arrival);
+    // Drain bytes over dt.
+    now_s += dt;
+    std::vector<PendingFlow*> still_active;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const double r = rates[i] / 8.0;
+      active[i]->remaining -= r * dt;
+      if (active[i]->remaining <= 1e-6) {
+        FlowResult res;
+        res.id = active[i]->id;
+        res.src = active[i]->src;
+        res.dst = active[i]->dst;
+        res.bytes = active[i]->bytes_total;
+        res.arrival = active[i]->arrival;
+        res.completion = sim::SimTime::from_seconds_f(now_s);
+        results_.push_back(res);
+      } else {
+        still_active.push_back(active[i]);
+      }
+    }
+    active.swap(still_active);
+  }
+}
+
+}  // namespace esim::flowsim

@@ -1,0 +1,95 @@
+// Flow-level (fluid) simulation baseline.
+//
+// The paper positions ML-assisted packet simulation against the classic
+// way to make big simulations tractable: give up packets entirely and
+// model flows as fluids sharing link capacity (§2 "flow-level systems",
+// §8 [Misra et al., Raiciu et al.]). This module implements that
+// baseline faithfully so the accuracy/speed comparison can be run: flows
+// traverse the same Clos topology (paths from the same deterministic
+// ECMP replay), share links max-min fairly, and complete when their
+// bytes drain. There are no packets, no TCP dynamics, no queues — which
+// is precisely the fidelity it gives up.
+//
+// The engine is event-driven on arrivals and departures: whenever the
+// active set changes, max-min rates are recomputed by progressive
+// filling and the next completion time is derived analytically.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/clos.h"
+#include "sim/time.h"
+
+namespace esim::flowsim {
+
+/// Outcome of one fluid flow.
+struct FlowResult {
+  std::uint64_t id = 0;
+  net::HostId src = 0;
+  net::HostId dst = 0;
+  std::uint64_t bytes = 0;
+  sim::SimTime arrival;
+  sim::SimTime completion;
+  /// Flow completion time.
+  sim::SimTime fct() const { return completion - arrival; }
+};
+
+/// Max-min fair fluid simulator over a Clos topology.
+class FlowLevelSimulator {
+ public:
+  /// All links share one bandwidth (as in the packet-level experiments).
+  FlowLevelSimulator(const net::ClosSpec& spec, double bandwidth_bps);
+
+  /// Registers a flow before run(). Arrivals may be in any order.
+  void add_flow(std::uint64_t id, net::HostId src, net::HostId dst,
+                std::uint64_t bytes, sim::SimTime arrival);
+
+  /// Runs to completion of every registered flow.
+  void run();
+
+  /// Results, in completion order. Valid after run().
+  const std::vector<FlowResult>& results() const { return results_; }
+
+  /// Number of max-min rate recomputations performed (the "event count"
+  /// of a fluid simulator).
+  std::uint64_t rate_recomputations() const { return recomputations_; }
+
+  /// Number of directed links in the modeled topology.
+  std::size_t link_count() const { return link_count_; }
+
+ private:
+  struct PendingFlow {
+    std::uint64_t id;
+    net::HostId src, dst;
+    std::uint64_t bytes_total;
+    double remaining;
+    sim::SimTime arrival;
+    std::vector<std::uint32_t> links;  // directed link ids on the path
+  };
+
+  std::vector<std::uint32_t> route(net::HostId src, net::HostId dst) const;
+  void recompute_rates(std::vector<PendingFlow*>& active,
+                       std::vector<double>& rates) const;
+
+  net::ClosSpec spec_;
+  double bandwidth_bps_;
+  std::size_t link_count_ = 0;
+
+  // Directed link id layout (dense):
+  //   [0, H)            host -> ToR uplinks
+  //   [H, 2H)           ToR -> host downlinks
+  //   then ToR->Agg, Agg->ToR, Agg->Core, Core->Agg blocks.
+  std::uint32_t uplink_id(net::HostId h) const;
+  std::uint32_t downlink_id(net::HostId h) const;
+  std::uint32_t tor_agg_id(std::uint32_t cluster, std::uint32_t tor,
+                           std::uint32_t agg, bool up) const;
+  std::uint32_t agg_core_id(std::uint32_t cluster, std::uint32_t agg,
+                            std::uint32_t core, bool up) const;
+
+  std::vector<PendingFlow> flows_;
+  std::vector<FlowResult> results_;
+  std::uint64_t recomputations_ = 0;
+};
+
+}  // namespace esim::flowsim

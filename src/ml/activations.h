@@ -1,0 +1,24 @@
+// Scalar activation functions and their derivatives.
+#pragma once
+
+#include <cmath>
+
+namespace esim::ml {
+
+/// Logistic sigmoid, numerically stable on both tails.
+inline double sigmoid(double x) {
+  if (x >= 0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+/// d/dx sigmoid(x) expressed via the activation value s = sigmoid(x).
+inline double dsigmoid_from_value(double s) { return s * (1.0 - s); }
+
+/// d/dx tanh(x) expressed via the activation value t = tanh(x).
+inline double dtanh_from_value(double t) { return 1.0 - t * t; }
+
+}  // namespace esim::ml

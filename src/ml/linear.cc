@@ -1,0 +1,36 @@
+#include "ml/linear.h"
+
+#include <stdexcept>
+
+namespace esim::ml {
+
+Linear::Linear(std::size_t in, std::size_t out, sim::Rng& rng)
+    : w_{out, in}, b_{1, out}, gw_{out, in}, gb_{1, out} {
+  if (in == 0 || out == 0) {
+    throw std::invalid_argument("Linear: zero dimension");
+  }
+  w_.fill_xavier(rng);
+}
+
+Tensor Linear::forward(const Tensor& x) const {
+  Tensor y = matmul_nt(x, w_);
+  add_row_bias(y, b_);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& x, const Tensor& dy) {
+  // dW += dy^T x ; db += column sums of dy ; dx = dy W.
+  gw_.add(matmul_tn(dy, x));
+  for (std::size_t i = 0; i < dy.rows(); ++i) {
+    for (std::size_t j = 0; j < dy.cols(); ++j) {
+      gb_.at(0, j) += dy.at(i, j);
+    }
+  }
+  return matmul(dy, w_);
+}
+
+std::vector<Parameter> Linear::parameters() {
+  return {{"w", &w_, &gw_}, {"b", &b_, &gb_}};
+}
+
+}  // namespace esim::ml

@@ -1,0 +1,33 @@
+// Parameter registry shared by trainable layers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/tensor.h"
+
+namespace esim::ml {
+
+/// A named weight tensor paired with its gradient accumulator. Both point
+/// into the owning layer and remain valid for the layer's lifetime.
+struct Parameter {
+  std::string name;
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Anything with trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All parameters of this module (stable order).
+  virtual std::vector<Parameter> parameters() = 0;
+
+  /// Clears every gradient accumulator.
+  void zero_grad() {
+    for (auto& p : parameters()) p.grad->zero();
+  }
+};
+
+}  // namespace esim::ml

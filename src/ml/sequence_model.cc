@@ -1,0 +1,102 @@
+#include "ml/sequence_model.h"
+
+#include <stdexcept>
+
+namespace esim::ml {
+namespace {
+
+/// Adapter template: wraps ml::Lstm or ml::Gru (identical API shapes).
+template <typename Net>
+class NetModel final : public SequenceModel {
+ public:
+  NetModel(std::size_t input, std::size_t hidden, std::size_t layers,
+           sim::Rng& rng)
+      : net_{input, hidden, layers, rng} {}
+
+  explicit NetModel(const Net& net) : net_{net} {}
+
+  class NetState final : public State {
+   public:
+    explicit NetState(typename Net::State s) : state{std::move(s)} {}
+    typename Net::State state;
+  };
+
+  class NetCache final : public Cache {
+   public:
+    typename Net::SequenceCache cache;
+  };
+
+  std::unique_ptr<State> make_state(std::size_t batch) const override {
+    return std::make_unique<NetState>(net_.initial_state(batch));
+  }
+
+  Tensor step(const Tensor& x, State& state) const override {
+    return net_.step(x, downcast(state).state);
+  }
+
+  std::vector<Tensor> forward(const std::vector<Tensor>& xs, State& state,
+                              std::unique_ptr<Cache>& cache) const override {
+    auto owned = std::make_unique<NetCache>();
+    auto hs = net_.forward(xs, downcast(state).state, owned->cache);
+    cache = std::move(owned);
+    return hs;
+  }
+
+  void backward(const Cache& cache,
+                const std::vector<Tensor>& dhs) override {
+    const auto* c = dynamic_cast<const NetCache*>(&cache);
+    if (c == nullptr) {
+      throw std::invalid_argument("SequenceModel: foreign cache");
+    }
+    net_.backward(c->cache, dhs);
+  }
+
+  std::size_t hidden_size() const override { return net_.hidden_size(); }
+
+  std::unique_ptr<SequenceModel> clone() const override {
+    return std::make_unique<NetModel>(net_);
+  }
+
+  std::vector<Parameter> parameters() override {
+    return net_.parameters();
+  }
+
+ private:
+  static NetState& downcast(State& s) {
+    auto* ns = dynamic_cast<NetState*>(&s);
+    if (ns == nullptr) {
+      throw std::invalid_argument("SequenceModel: foreign state");
+    }
+    return *ns;
+  }
+
+  Net net_;
+};
+
+}  // namespace
+
+const char* trunk_kind_name(TrunkKind kind) {
+  switch (kind) {
+    case TrunkKind::Lstm:
+      return "lstm";
+    case TrunkKind::Gru:
+      return "gru";
+  }
+  return "?";
+}
+
+std::unique_ptr<SequenceModel> make_sequence_model(TrunkKind kind,
+                                                   std::size_t input,
+                                                   std::size_t hidden,
+                                                   std::size_t layers,
+                                                   sim::Rng& rng) {
+  switch (kind) {
+    case TrunkKind::Lstm:
+      return std::make_unique<NetModel<Lstm>>(input, hidden, layers, rng);
+    case TrunkKind::Gru:
+      return std::make_unique<NetModel<Gru>>(input, hidden, layers, rng);
+  }
+  throw std::invalid_argument("make_sequence_model: unknown kind");
+}
+
+}  // namespace esim::ml

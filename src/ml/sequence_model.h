@@ -1,0 +1,66 @@
+// Type-erased recurrent sequence model: the micro model's trunk can be an
+// LSTM (the paper's prototype) or a GRU (§7's "new LSTM variants")
+// without the training or inference code caring which.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ml/gru.h"
+#include "ml/lstm.h"
+#include "ml/module.h"
+#include "ml/tensor.h"
+
+namespace esim::ml {
+
+/// Abstract stacked recurrent network over [B x F] timesteps.
+class SequenceModel : public Module {
+ public:
+  /// Opaque per-run hidden state.
+  class State {
+   public:
+    virtual ~State() = default;
+  };
+
+  /// Opaque forward cache for BPTT.
+  class Cache {
+   public:
+    virtual ~Cache() = default;
+  };
+
+  /// Fresh zero state for `batch` parallel sequences.
+  virtual std::unique_ptr<State> make_state(std::size_t batch) const = 0;
+
+  /// Streaming step: consumes one [B x F] input, returns [B x H].
+  virtual Tensor step(const Tensor& x, State& state) const = 0;
+
+  /// Training forward over a sequence; returns top outputs per step and
+  /// the cache to pass to backward().
+  virtual std::vector<Tensor> forward(const std::vector<Tensor>& xs,
+                                      State& state,
+                                      std::unique_ptr<Cache>& cache) const = 0;
+
+  /// BPTT through a cached forward; accumulates parameter gradients.
+  virtual void backward(const Cache& cache,
+                        const std::vector<Tensor>& dhs) = 0;
+
+  virtual std::size_t hidden_size() const = 0;
+
+  /// Deep copy (weights and gradients; no hidden state).
+  virtual std::unique_ptr<SequenceModel> clone() const = 0;
+};
+
+/// The trunk architectures available to the micro model.
+enum class TrunkKind { Lstm, Gru };
+
+/// Display name, e.g. "lstm".
+const char* trunk_kind_name(TrunkKind kind);
+
+/// Builds a trunk of the requested architecture.
+std::unique_ptr<SequenceModel> make_sequence_model(TrunkKind kind,
+                                                   std::size_t input,
+                                                   std::size_t hidden,
+                                                   std::size_t layers,
+                                                   sim::Rng& rng);
+
+}  // namespace esim::ml

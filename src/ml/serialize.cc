@@ -1,0 +1,77 @@
+#include "ml/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace esim::ml {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x45534D4C;  // "ESML"
+
+void write_u32(std::ofstream& os, std::uint32_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof v);
+}
+
+std::uint32_t read_u32(std::ifstream& is) {
+  std::uint32_t v = 0;
+  is.read(reinterpret_cast<char*>(&v), sizeof v);
+  return v;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter>& params) {
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
+  write_u32(os, kMagic);
+  write_u32(os, static_cast<std::uint32_t>(params.size()));
+  for (const auto& p : params) {
+    write_u32(os, static_cast<std::uint32_t>(p.name.size()));
+    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
+    write_u32(os, static_cast<std::uint32_t>(p.value->rows()));
+    write_u32(os, static_cast<std::uint32_t>(p.value->cols()));
+    os.write(reinterpret_cast<const char*>(p.value->data()),
+             static_cast<std::streamsize>(p.value->size() * sizeof(double)));
+  }
+  if (!os) throw std::runtime_error("save_parameters: write failed");
+}
+
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter>& params) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
+  if (read_u32(is) != kMagic) {
+    throw std::runtime_error("load_parameters: bad magic in " + path);
+  }
+  const std::uint32_t count = read_u32(is);
+  if (count != params.size()) {
+    throw std::runtime_error("load_parameters: parameter count mismatch");
+  }
+  std::unordered_map<std::string, const Parameter*> by_name;
+  for (const auto& p : params) by_name[p.name] = &p;
+
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t name_len = read_u32(is);
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const std::uint32_t rows = read_u32(is);
+    const std::uint32_t cols = read_u32(is);
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error("load_parameters: unknown parameter " + name);
+    }
+    Tensor& t = *it->second->value;
+    if (t.rows() != rows || t.cols() != cols) {
+      throw std::runtime_error("load_parameters: shape mismatch for " +
+                               name);
+    }
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(t.size() * sizeof(double)));
+    if (!is) throw std::runtime_error("load_parameters: truncated file");
+  }
+}
+
+}  // namespace esim::ml

@@ -1,0 +1,23 @@
+// Parameter (de)serialization: lets a trained cluster model be saved once
+// and reused across simulations — the paper's "once trained they are
+// cheap to run, reusable" property.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/module.h"
+
+namespace esim::ml {
+
+/// Writes the parameter set to a binary file. Throws on I/O failure.
+void save_parameters(const std::string& path,
+                     const std::vector<Parameter>& params);
+
+/// Loads parameters by name into an already constructed module whose
+/// parameter names and shapes must match the file exactly. Throws on any
+/// mismatch or I/O failure.
+void load_parameters(const std::string& path,
+                     const std::vector<Parameter>& params);
+
+}  // namespace esim::ml

@@ -1,0 +1,96 @@
+#include "net/clos.h"
+
+#include <stdexcept>
+
+#include "net/ecmp.h"
+
+namespace esim::net {
+
+void ClosSpec::validate() const {
+  if (clusters == 0 || tors_per_cluster == 0 || aggs_per_cluster == 0 ||
+      hosts_per_tor == 0) {
+    throw std::invalid_argument("ClosSpec: all layer sizes must be positive");
+  }
+  if (clusters == 1 && cores != 0) {
+    throw std::invalid_argument(
+        "ClosSpec: single-cluster (leaf-spine) topologies have no core "
+        "layer");
+  }
+  if (clusters > 1 && cores == 0) {
+    throw std::invalid_argument(
+        "ClosSpec: multi-cluster topologies need at least one core switch");
+  }
+}
+
+std::uint32_t ClosSpec::cluster_of_switch(SwitchId s) const {
+  if (is_tor(s)) return s / tors_per_cluster;
+  if (is_agg(s)) return (s - total_tors()) / aggs_per_cluster;
+  throw std::invalid_argument("cluster_of_switch: core switch " +
+                              std::to_string(s) + " belongs to no cluster");
+}
+
+std::string ClosSpec::tor_name(std::uint32_t cluster,
+                               std::uint32_t tor) const {
+  return "c" + std::to_string(cluster) + ".tor" + std::to_string(tor);
+}
+
+std::string ClosSpec::agg_name(std::uint32_t cluster,
+                               std::uint32_t agg) const {
+  return "c" + std::to_string(cluster) + ".agg" + std::to_string(agg);
+}
+
+std::string ClosSpec::core_name(std::uint32_t core) const {
+  return "core" + std::to_string(core);
+}
+
+std::string ClosSpec::host_name(HostId h) const {
+  return "c" + std::to_string(cluster_of_host(h)) + ".h" + std::to_string(h);
+}
+
+ClosPath compute_path(const ClosSpec& spec, const FlowKey& flow) {
+  if (flow.src_host >= spec.total_hosts() ||
+      flow.dst_host >= spec.total_hosts()) {
+    throw std::invalid_argument("compute_path: host id out of range");
+  }
+  if (flow.src_host == flow.dst_host) {
+    throw std::invalid_argument("compute_path: src == dst");
+  }
+
+  const std::uint32_t src_cluster = spec.cluster_of_host(flow.src_host);
+  const std::uint32_t dst_cluster = spec.cluster_of_host(flow.dst_host);
+  const SwitchId src_tor = spec.tor_of_host(flow.src_host);
+  const SwitchId dst_tor = spec.tor_of_host(flow.dst_host);
+
+  ClosPath path;
+  path.hops[path.len++] = src_tor;
+  if (src_tor == dst_tor) return path;
+
+  // Up to an Agg of the source cluster. The builder lists ToR uplinks in
+  // ascending agg index, so ecmp_index indexes agg order directly.
+  const std::uint32_t up_agg =
+      ecmp_index(flow, src_tor, spec.aggs_per_cluster);
+
+  if (src_cluster == dst_cluster) {
+    path.hops[path.len++] = spec.agg_id(src_cluster, up_agg);
+    path.hops[path.len++] = dst_tor;
+    return path;
+  }
+
+  const SwitchId src_agg = spec.agg_id(src_cluster, up_agg);
+  path.hops[path.len++] = src_agg;
+
+  // Agg uplinks are listed in ascending core index.
+  const std::uint32_t core = ecmp_index(flow, src_agg, spec.cores);
+  const SwitchId core_sw = spec.core_id(core);
+  path.hops[path.len++] = core_sw;
+
+  // Core downlinks toward the destination cluster are listed in ascending
+  // agg index within that cluster.
+  const std::uint32_t down_agg =
+      ecmp_index(flow, core_sw, spec.aggs_per_cluster);
+  path.hops[path.len++] = spec.agg_id(dst_cluster, down_agg);
+  path.hops[path.len++] = dst_tor;
+  return path;
+}
+
+}  // namespace esim::net

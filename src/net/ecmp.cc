@@ -1,0 +1,31 @@
+#include "net/ecmp.h"
+
+#include <cassert>
+
+namespace esim::net {
+namespace {
+
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDULL;
+  x ^= x >> 33;
+  x *= 0xC4CEB9FE1A85EC53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+}  // namespace
+
+std::uint32_t ecmp_index(const FlowKey& flow, SwitchId deciding_switch,
+                         std::uint32_t n) {
+  assert(n > 0);
+  std::uint64_t h = (static_cast<std::uint64_t>(flow.src_host) << 32) |
+                    flow.dst_host;
+  h = mix64(h);
+  h ^= (static_cast<std::uint64_t>(flow.src_port) << 48) |
+       (static_cast<std::uint64_t>(flow.dst_port) << 32) | deciding_switch;
+  h = mix64(h);
+  return static_cast<std::uint32_t>(h % n);
+}
+
+}  // namespace esim::net

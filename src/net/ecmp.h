@@ -1,0 +1,23 @@
+// ECMP: deterministic per-flow equal-cost multipath selection.
+//
+// The selection is a pure function of the flow key and the deciding
+// switch's identity. Determinism matters beyond realism: the paper's micro
+// model features include "the ToR, Cluster, and Core switches that the
+// packet would pass through", which are recomputable from the packet header
+// and routing knowledge precisely because ECMP here is deterministic
+// (paper §4.2). approx/features.cc replays this function.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+
+namespace esim::net {
+
+/// Mixes the flow 4-tuple with a per-switch salt and reduces to [0, n).
+/// n must be > 0. Per-flow stable: every packet of a flow takes the same
+/// choice at the same switch, like hashed ECMP in real fabrics.
+std::uint32_t ecmp_index(const FlowKey& flow, SwitchId deciding_switch,
+                         std::uint32_t n);
+
+}  // namespace esim::net

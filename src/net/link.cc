@@ -1,0 +1,73 @@
+#include "net/link.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace esim::net {
+
+Link::Link(sim::Simulator& sim, std::string name, const Config& config,
+           PacketHandler* dst)
+    : Component(sim, std::move(name)), config_{config}, dst_{dst} {
+  if (config_.bandwidth_bps <= 0) {
+    throw std::invalid_argument("Link: bandwidth must be positive");
+  }
+  if (dst_ == nullptr) {
+    throw std::invalid_argument("Link: null destination");
+  }
+}
+
+sim::SimTime Link::tx_time(std::uint32_t bytes) const {
+  const double seconds =
+      static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return sim::SimTime::from_ns(
+      static_cast<std::int64_t>(std::llround(seconds * 1e9)));
+}
+
+void Link::send(Packet pkt) {
+  ++counter_.sent;
+  const std::uint32_t size = pkt.size_bytes();
+  if (queued_bytes_ + size > config_.queue_capacity_bytes) {
+    ++counter_.dropped;
+    if (on_drop) on_drop(pkt);
+    return;
+  }
+  if (config_.ecn_threshold_bytes != 0 &&
+      queued_bytes_ >= config_.ecn_threshold_bytes) {
+    pkt.ecn = true;
+  }
+  queued_bytes_ += size;
+  queue_.push_back(std::move(pkt));
+  pump();
+}
+
+void Link::pump() {
+  if (busy_ || queue_.empty()) return;
+  busy_ = true;
+  Packet pkt = std::move(queue_.front());
+  queue_.pop_front();
+  queued_bytes_ -= pkt.size_bytes();
+  schedule_in(tx_time(pkt.size_bytes()),
+              [this, pkt = std::move(pkt)]() mutable {
+                finish_transmit(std::move(pkt));
+              });
+}
+
+void Link::finish_transmit(Packet pkt) {
+  busy_ = false;
+  const sim::SimTime arrive_at = now() + config_.propagation;
+  if (on_transmit) on_transmit(pkt, arrive_at);
+  ++counter_.delivered;
+  if (remote_) {
+    remote_(arrive_at, [dst = dst_, pkt = std::move(pkt)]() mutable {
+      dst->handle_packet(std::move(pkt));
+    });
+  } else {
+    schedule_at(arrive_at, [dst = dst_, pkt = std::move(pkt)]() mutable {
+      dst->handle_packet(std::move(pkt));
+    });
+  }
+  pump();
+}
+
+}  // namespace esim::net

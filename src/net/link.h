@@ -1,0 +1,108 @@
+// Links: the unidirectional output port + wire abstraction.
+//
+// A Link bundles what OMNeT++/INET splits across queue, MAC, and channel
+// modules: a drop-tail byte-bounded FIFO, a serializer running at the link
+// bandwidth, and a propagation-delay wire. Hosts and switches both transmit
+// through Links. A Link delivers into a PacketHandler, normally by
+// scheduling on its own engine; when the receiver lives in another PDES
+// partition a remote scheduler is installed instead (see sim/parallel.h).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "net/packet.h"
+#include "sim/component.h"
+#include "stats/collectors.h"
+
+namespace esim::net {
+
+/// Anything that can accept a packet from a Link (switches, hosts, and
+/// approximated-cluster models).
+class PacketHandler {
+ public:
+  virtual ~PacketHandler() = default;
+
+  /// Takes ownership of the packet that just finished arriving.
+  virtual void handle_packet(Packet pkt) = 0;
+};
+
+/// Schedules `fn` at absolute virtual time `at` on the *receiving* end's
+/// engine. Used for links that cross PDES partitions.
+using RemoteScheduler =
+    std::function<void(sim::SimTime at, std::function<void()> fn)>;
+
+/// Unidirectional link: drop-tail queue + serializer + propagation wire.
+class Link : public sim::Component {
+ public:
+  struct Config {
+    /// Serialization rate in bits per second (default 10 GbE).
+    double bandwidth_bps = 10e9;
+    /// Propagation delay (wire + receiver pipeline).
+    sim::SimTime propagation = sim::SimTime::from_us(1);
+    /// Queue capacity in bytes. Packets that do not fit are dropped.
+    std::uint32_t queue_capacity_bytes = 150'000;
+    /// ECN marking threshold in queued bytes: packets enqueued while the
+    /// queue holds at least this much get the congestion-experienced bit
+    /// set (DCTCP-style marking). 0 disables marking. The TCP stack here
+    /// does not react to ECN (New Reno, as the paper ran); the bit is a
+    /// header field the approximation models can observe and learn
+    /// (paper §4.2).
+    std::uint32_t ecn_threshold_bytes = 0;
+  };
+
+  /// Creates a link delivering into `dst` (must outlive the link).
+  Link(sim::Simulator& sim, std::string name, const Config& config,
+       PacketHandler* dst);
+
+  /// Offers a packet for transmission; drops it if the queue is full.
+  void send(Packet pkt);
+
+  /// Bytes currently queued (excludes the packet being serialized).
+  std::uint32_t queued_bytes() const { return queued_bytes_; }
+
+  /// Packets currently queued.
+  std::size_t queued_packets() const { return queue_.size(); }
+
+  /// True while a packet is being serialized onto the wire.
+  bool busy() const { return busy_; }
+
+  /// Send/delivery/drop accounting for this link.
+  const stats::PacketCounter& counter() const { return counter_; }
+
+  /// Time to serialize `bytes` at this link's bandwidth.
+  sim::SimTime tx_time(std::uint32_t bytes) const;
+
+  /// Configured propagation delay.
+  sim::SimTime propagation() const { return config_.propagation; }
+
+  /// Observer invoked when a packet finishes serializing (it has left the
+  /// sender and will arrive `propagation()` later). Used by the boundary
+  /// trace recorder.
+  std::function<void(const Packet&, sim::SimTime arrive_at)> on_transmit;
+
+  /// Observer invoked when the queue rejects a packet.
+  std::function<void(const Packet&)> on_drop;
+
+  /// Routes deliveries through a cross-partition scheduler instead of the
+  /// local engine. `propagation()` must be >= the engine's lookahead.
+  void set_remote_scheduler(RemoteScheduler remote) {
+    remote_ = std::move(remote);
+  }
+
+ private:
+  void pump();
+  void finish_transmit(Packet pkt);
+
+  Config config_;
+  PacketHandler* dst_;
+  std::deque<Packet> queue_;
+  std::uint32_t queued_bytes_ = 0;
+  bool busy_ = false;
+  stats::PacketCounter counter_;
+  RemoteScheduler remote_;
+};
+
+}  // namespace esim::net

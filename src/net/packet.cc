@@ -1,0 +1,19 @@
+#include "net/packet.h"
+
+#include <sstream>
+
+namespace esim::net {
+
+std::string Packet::to_string() const {
+  std::ostringstream os;
+  os << "pkt#" << id << " " << flow.src_host << ":" << flow.src_port << "->"
+     << flow.dst_host << ":" << flow.dst_port << " [";
+  if (has(TcpFlag::Syn)) os << "S";
+  if (has(TcpFlag::Ack)) os << "A";
+  if (has(TcpFlag::Fin)) os << "F";
+  os << "] seq=" << seq << " ack=" << ack_seq << " len=" << payload;
+  if (ecn) os << " ECN";
+  return os.str();
+}
+
+}  // namespace esim::net

@@ -1,0 +1,110 @@
+// Packet representation.
+//
+// ElephantSim is a packet-level simulator in the ns-2/OMNeT++ tradition: a
+// packet is a value type carrying the header fields the network and the TCP
+// stacks act on, plus measurement timestamps. Only TCP/IPv4-shaped traffic
+// is modeled (what the paper evaluates), so the TCP header is inlined
+// rather than layered through encapsulation objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace esim::net {
+
+/// Identifies a server (end host). Dense, assigned by the topology builder.
+using HostId = std::uint32_t;
+
+/// Identifies a switch. Dense over all switches in a topology.
+using SwitchId = std::uint32_t;
+
+/// TCP header flags used by the stack.
+enum class TcpFlag : std::uint8_t {
+  None = 0,
+  Syn = 1 << 0,
+  Ack = 1 << 1,
+  Fin = 1 << 2,
+};
+
+constexpr TcpFlag operator|(TcpFlag a, TcpFlag b) {
+  return static_cast<TcpFlag>(static_cast<std::uint8_t>(a) |
+                              static_cast<std::uint8_t>(b));
+}
+
+constexpr bool has_flag(TcpFlag flags, TcpFlag f) {
+  return (static_cast<std::uint8_t>(flags) & static_cast<std::uint8_t>(f)) !=
+         0;
+}
+
+/// The connection 4-tuple (src host/port, dst host/port). Hosts stand in
+/// for IP addresses.
+struct FlowKey {
+  HostId src_host = 0;
+  HostId dst_host = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  constexpr bool operator==(const FlowKey&) const = default;
+
+  /// The reverse direction (used to address ACKs).
+  constexpr FlowKey reversed() const {
+    return FlowKey{dst_host, src_host, dst_port, src_port};
+  }
+};
+
+/// Hash for FlowKey, suitable for unordered_map.
+struct FlowKeyHash {
+  std::size_t operator()(const FlowKey& k) const {
+    std::uint64_t x = (static_cast<std::uint64_t>(k.src_host) << 32) |
+                      k.dst_host;
+    std::uint64_t y = (static_cast<std::uint64_t>(k.src_port) << 16) |
+                      k.dst_port;
+    x ^= y + 0x9E3779B97F4A7C15ULL + (x << 6) + (x >> 2);
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    return static_cast<std::size_t>(x ^ (x >> 31));
+  }
+};
+
+/// Simulated Ethernet+IP+TCP header overhead in bytes.
+inline constexpr std::uint32_t kHeaderBytes = 58;
+
+/// Maximum TCP payload per packet (standard Ethernet MSS).
+inline constexpr std::uint32_t kMss = 1460;
+
+/// One simulated packet. Copyable value; ownership moves hop to hop.
+struct Packet {
+  /// Globally unique per simulation; assigned by the sender's stack.
+  std::uint64_t id = 0;
+  /// Connection addressing.
+  FlowKey flow;
+  /// Flow identifier assigned by the workload generator (0 = control).
+  std::uint64_t flow_id = 0;
+
+  // --- TCP header ---
+  TcpFlag flags = TcpFlag::None;
+  std::uint32_t seq = 0;      ///< First payload byte's sequence number.
+  std::uint32_t ack_seq = 0;  ///< Cumulative ACK (valid when Ack set).
+  std::uint32_t payload = 0;  ///< Payload bytes carried.
+  bool ecn = false;           ///< ECN congestion-experienced mark (CE).
+  bool ece = false;           ///< ECN-echo flag on ACKs (receiver -> sender).
+  /// Echoed send timestamp (models the TCP timestamp option; used for RTT
+  /// estimation by the stacks).
+  sim::SimTime ts_echo;
+
+  // --- measurement (not part of the wire format) ---
+  /// When the packet first entered the network at the sending host.
+  sim::SimTime sent_at;
+
+  /// Total bytes on the wire.
+  std::uint32_t size_bytes() const { return kHeaderBytes + payload; }
+
+  /// True if this packet carries the given flag.
+  bool has(TcpFlag f) const { return has_flag(flags, f); }
+
+  /// Compact human-readable rendering for logs.
+  std::string to_string() const;
+};
+
+}  // namespace esim::net

@@ -1,0 +1,67 @@
+#include "net/switch.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace esim::net {
+
+Switch::Switch(sim::Simulator& sim, std::string name, SwitchId id,
+               sim::SimTime processing_delay)
+    : Component(sim, std::move(name)),
+      id_{id},
+      processing_delay_{processing_delay} {}
+
+std::uint32_t Switch::add_port(Link* link) {
+  if (link == nullptr) throw std::invalid_argument("Switch: null port link");
+  ports_.push_back(link);
+  return static_cast<std::uint32_t>(ports_.size() - 1);
+}
+
+void Switch::set_route(HostId dst, std::vector<std::uint32_t> ports) {
+  if (ports.empty()) {
+    throw std::invalid_argument("Switch: empty port set for route");
+  }
+  for (auto p : ports) {
+    if (p >= ports_.size()) {
+      throw std::invalid_argument("Switch: route references unknown port");
+    }
+  }
+  if (dst >= routes_.size()) routes_.resize(dst + 1);
+  routes_[dst] = std::move(ports);
+}
+
+std::uint32_t Switch::route_port(const FlowKey& flow) const {
+  if (flow.dst_host >= routes_.size() || routes_[flow.dst_host].empty()) {
+    throw std::logic_error(name() + ": no route to host " +
+                           std::to_string(flow.dst_host));
+  }
+  const auto& candidates = routes_[flow.dst_host];
+  const std::uint32_t pick =
+      ecmp_index(flow, id_, static_cast<std::uint32_t>(candidates.size()));
+  return candidates[pick];
+}
+
+void Switch::handle_packet(Packet pkt) {
+  ++counter_.sent;
+  if (processing_delay_ > sim::SimTime{}) {
+    schedule_in(processing_delay_, [this, pkt = std::move(pkt)]() mutable {
+      forward(std::move(pkt));
+    });
+  } else {
+    forward(std::move(pkt));
+  }
+}
+
+void Switch::forward(Packet pkt) {
+  if (pkt.flow.dst_host >= routes_.size() ||
+      routes_[pkt.flow.dst_host].empty()) {
+    ++counter_.dropped;
+    log(sim::LogLevel::Warn, "no route, dropping " + pkt.to_string());
+    return;
+  }
+  const std::uint32_t port = route_port(pkt.flow);
+  ++counter_.delivered;
+  ports_[port]->send(std::move(pkt));
+}
+
+}  // namespace esim::net

@@ -1,0 +1,74 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace esim::sim {
+
+EventHandle EventQueue::schedule(SimTime t, std::function<void()> fn) {
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Entry{t, id, id, std::move(fn)});
+  sift_up(heap_.size() - 1);
+  pending_.insert(id);
+  return EventHandle{id};
+}
+
+bool EventQueue::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  return pending_.erase(h.id) > 0;
+}
+
+SimTime EventQueue::next_time() {
+  prune_top();
+  assert(!heap_.empty());
+  return heap_.front().time;
+}
+
+std::optional<Event> EventQueue::pop() {
+  prune_top();
+  if (heap_.empty()) return std::nullopt;
+  Entry e = std::move(heap_.front());
+  heap_.front() = std::move(heap_.back());
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  pending_.erase(e.id);
+  return Event{e.time, e.id, std::move(e.fn)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  pending_.clear();
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!later(heap_[parent], heap_[i])) break;
+    std::swap(heap_[parent], heap_[i]);
+    i = parent;
+  }
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = l + 1;
+    std::size_t smallest = i;
+    if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+    if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void EventQueue::prune_top() {
+  while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+  }
+}
+
+}  // namespace esim::sim

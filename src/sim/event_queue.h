@@ -1,0 +1,93 @@
+// The future-event set: a binary min-heap keyed on (time, sequence number).
+//
+// The sequence number guarantees a total, deterministic order even among
+// events scheduled for the same instant: ties break in scheduling order,
+// matching the behaviour of OMNeT++'s FES that the paper's prototype
+// extends. Cancellation is lazy — cancelled entries stay in the heap and are
+// discarded on pop — because the dominant cancellers (TCP retransmission
+// timers) cancel events that are near the top anyway.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace esim::sim {
+
+/// Opaque handle identifying a scheduled event, usable to cancel it.
+struct EventHandle {
+  std::uint64_t id = 0;
+  /// True if this handle refers to a real scheduled event.
+  constexpr bool valid() const { return id != 0; }
+  constexpr bool operator==(const EventHandle&) const = default;
+};
+
+/// An event popped from the queue, ready to execute.
+struct Event {
+  SimTime time;
+  std::uint64_t id = 0;
+  std::function<void()> fn;
+};
+
+/// Binary min-heap of events ordered by (time, insertion sequence).
+///
+/// Not thread-safe: in parallel runs each partition owns its own queue.
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  /// Schedules `fn` at absolute time `t`. Returns a handle for cancellation.
+  EventHandle schedule(SimTime t, std::function<void()> fn);
+
+  /// Cancels a previously scheduled event. Returns false if the event
+  /// already executed or was already cancelled.
+  bool cancel(EventHandle h);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  /// Number of live events.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  SimTime next_time();
+
+  /// Pops the earliest live event, or nullopt when empty.
+  std::optional<Event> pop();
+
+  /// Total events ever scheduled (for performance accounting).
+  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // insertion order; tie-break for equal times
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes cancelled entries from the top of the heap.
+  void prune_top();
+
+  std::vector<Entry> heap_;
+  // Ids currently scheduled and not cancelled. Heap entries whose id is
+  // absent from this set are dead and skipped on pop.
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace esim::sim

@@ -1,0 +1,35 @@
+#include "sim/logger.h"
+
+#include <cstdio>
+
+namespace esim::sim {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error:
+      return "ERROR";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Trace:
+      return "TRACE";
+  }
+  return "?";
+}
+
+void Logger::log(LogLevel level, SimTime now, const std::string& source,
+                 const std::string& message) {
+  if (!enabled(level)) return;
+  std::string line = "[" + now.to_string() + "] " + log_level_name(level) +
+                     " " + source + ": " + message;
+  if (sink_) {
+    sink_(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace esim::sim

@@ -1,0 +1,50 @@
+// Minimal leveled logger for simulation diagnostics.
+//
+// Logging is off by default (level Warn) so benchmark runs pay only a level
+// check per call site. Messages are emitted with the current simulation
+// time, which the Simulator injects.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sim/time.h"
+
+namespace esim::sim {
+
+/// Verbosity levels, most to least severe.
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3, Trace = 4 };
+
+/// Converts a level to its display tag, e.g. "INFO".
+const char* log_level_name(LogLevel level);
+
+/// Simple leveled logger writing to stderr (or a user-supplied sink).
+class Logger {
+ public:
+  Logger() = default;
+
+  /// Sets the maximum level that will be emitted.
+  void set_level(LogLevel level) { level_ = level; }
+  /// Current maximum emitted level.
+  LogLevel level() const { return level_; }
+
+  /// True if a message at `level` would be emitted (guard for expensive
+  /// formatting at call sites).
+  bool enabled(LogLevel level) const { return level <= level_; }
+
+  /// Redirects output; the sink receives fully formatted lines. Passing an
+  /// empty function restores the default stderr sink.
+  void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  /// Emits one message tagged with the simulation time and source name.
+  void log(LogLevel level, SimTime now, const std::string& source,
+           const std::string& message);
+
+ private:
+  LogLevel level_ = LogLevel::Warn;
+  std::function<void(const std::string&)> sink_;
+};
+
+}  // namespace esim::sim

@@ -1,0 +1,170 @@
+#include "sim/parallel.h"
+
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <exception>
+#include <limits>
+#include <stdexcept>
+#include <thread>
+
+namespace esim::sim {
+
+void Partition::post(CrossMessage m) {
+  std::lock_guard lock{inbox_mu_};
+  inbox_.push_back(std::move(m));
+}
+
+std::size_t Partition::drain_inbox() {
+  std::vector<CrossMessage> batch;
+  {
+    std::lock_guard lock{inbox_mu_};
+    batch.swap(inbox_);
+  }
+  // Deterministic insertion order regardless of which sender posted first.
+  std::sort(batch.begin(), batch.end(),
+            [](const CrossMessage& a, const CrossMessage& b) {
+              if (a.deliver_at != b.deliver_at)
+                return a.deliver_at < b.deliver_at;
+              if (a.source_partition != b.source_partition)
+                return a.source_partition < b.source_partition;
+              return a.source_seq < b.source_seq;
+            });
+  for (auto& m : batch) {
+    sim_.schedule_at(m.deliver_at, std::move(m.fn));
+  }
+  return batch.size();
+}
+
+ParallelEngine::ParallelEngine(Config config)
+    : config_{config}, send_seq_(config.num_partitions) {
+  if (config_.num_partitions == 0) {
+    throw std::invalid_argument("ParallelEngine: need at least 1 partition");
+  }
+  if (config_.lookahead <= SimTime{}) {
+    throw std::invalid_argument("ParallelEngine: lookahead must be positive");
+  }
+  partitions_.reserve(config_.num_partitions);
+  for (std::uint32_t i = 0; i < config_.num_partitions; ++i) {
+    partitions_.push_back(std::make_unique<Partition>(i, config_.seed + i));
+    send_seq_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+ParallelEngine::~ParallelEngine() = default;
+
+void ParallelEngine::send_cross(std::uint32_t from, std::uint32_t to,
+                                SimTime deliver_at, std::function<void()> fn) {
+  Partition& src = *partitions_.at(from);
+  if (deliver_at < src.sim().now() + config_.lookahead) {
+    throw std::logic_error(
+        "send_cross: delivery violates lookahead (deliver_at=" +
+        deliver_at.to_string() + ", now=" + src.sim().now().to_string() +
+        ", lookahead=" + config_.lookahead.to_string() + ")");
+  }
+  const std::uint64_t seq =
+      send_seq_[from].fetch_add(1, std::memory_order_relaxed);
+  partitions_.at(to)->post(CrossMessage{deliver_at, from, seq, std::move(fn)});
+  round_messages_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ParallelEngine::spin_overhead(double microseconds) {
+  if (microseconds <= 0.0) return;
+  const auto start = std::chrono::steady_clock::now();
+  const auto budget = std::chrono::duration<double, std::micro>(microseconds);
+  while (std::chrono::steady_clock::now() - start < budget) {
+    // Busy-wait: models a blocking MPI collective on the critical path.
+  }
+  stats_.modeled_overhead_seconds += microseconds / 1e6;
+}
+
+void ParallelEngine::run_until(SimTime end) {
+  const std::uint32_t P = num_partitions();
+  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<std::int64_t> min_next{kNever};
+  SimTime window_end;
+  bool done = false;
+
+  auto on_window_computed = [&]() noexcept {
+    // Runs on exactly one thread while the others wait in the barrier:
+    // decides the next safe window and models the MPI synchronization cost.
+    const std::int64_t next = min_next.load(std::memory_order_relaxed);
+    if (next == kNever || SimTime::from_ns(next) >= end) {
+      done = true;
+    } else {
+      window_end = SimTime::from_ns(next) + config_.lookahead;
+      if (window_end > end) window_end = end;
+    }
+    const std::uint64_t msgs =
+        round_messages_.exchange(0, std::memory_order_relaxed);
+    stats_.cross_messages += msgs;
+    ++stats_.sync_rounds;
+    spin_overhead(config_.round_overhead_us +
+                  config_.per_message_overhead_us * static_cast<double>(msgs));
+    min_next.store(kNever, std::memory_order_relaxed);
+  };
+
+  std::barrier window_barrier(static_cast<std::ptrdiff_t>(P),
+                              on_window_computed);
+  std::barrier round_barrier(static_cast<std::ptrdiff_t>(P));
+
+  std::vector<std::exception_ptr> errors(P);
+
+  auto worker = [&](std::uint32_t idx) {
+    Partition& part = *partitions_[idx];
+    bool failed = false;
+    for (;;) {
+      std::int64_t local_next = kNever;
+      if (!failed) {
+        try {
+          part.drain_inbox();
+          if (part.sim().events_pending() > 0) {
+            local_next = part.sim().next_event_time().ns();
+          }
+        } catch (...) {
+          errors[idx] = std::current_exception();
+          failed = true;
+        }
+      }
+      // Fold into the global minimum. A failed partition reports "never" so
+      // the run winds down without deadlocking the barriers.
+      std::int64_t cur = min_next.load(std::memory_order_relaxed);
+      while (local_next < cur &&
+             !min_next.compare_exchange_weak(cur, local_next,
+                                             std::memory_order_relaxed)) {
+      }
+      window_barrier.arrive_and_wait();
+      if (done) break;
+      if (!failed) {
+        try {
+          part.sim().run_until(window_end);
+        } catch (...) {
+          errors[idx] = std::current_exception();
+          failed = true;
+        }
+      }
+      round_barrier.arrive_and_wait();
+    }
+    if (!failed) {
+      // Advance the clock to the requested end for a consistent epilogue.
+      part.sim().run_until(end);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(P);
+  for (std::uint32_t i = 0; i < P; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+
+  stats_.events_executed = 0;
+  for (auto& p : partitions_) {
+    stats_.events_executed += p->sim().events_executed();
+  }
+
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace esim::sim

@@ -1,0 +1,138 @@
+// Conservative parallel discrete-event simulation (PDES).
+//
+// This reproduces the *mechanism* whose cost Figure 1 of the paper
+// measures: the network is split into partitions, each with its own event
+// queue and worker thread, synchronized with a window-barrier ("YAWNS")
+// algorithm. Events in [window_start, window_end) are causally independent
+// across partitions because every cross-partition interaction carries at
+// least `lookahead` of latency (the minimum cross-partition link delay), so
+// window_end = min(next event time over all partitions) + lookahead is safe.
+//
+// The paper ran OMNeT++'s MPI-based PDES across 1–4 physical machines. We
+// have threads, not a cluster, so inter-machine messaging cost is *modeled*:
+// each sync round pays a configurable wall-clock overhead (base cost per
+// round plus a per-cross-message cost), spun on the coordinator thread.
+// With the overhead set to zero the engine is a plain shared-memory PDES.
+// DESIGN.md §1 documents this substitution.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace esim::sim {
+
+/// A timestamped closure crossing a partition boundary.
+struct CrossMessage {
+  SimTime deliver_at;
+  std::uint32_t source_partition = 0;
+  std::uint64_t source_seq = 0;  // per-source counter; makes drains sortable
+  std::function<void()> fn;
+};
+
+/// One partition of a parallel run: a full sequential Simulator plus an
+/// inbox for messages arriving from other partitions.
+class Partition {
+ public:
+  /// Creates partition `index` with RNG seed `seed`.
+  Partition(std::uint32_t index, std::uint64_t seed)
+      : index_{index}, sim_{seed} {}
+
+  /// This partition's index within the engine.
+  std::uint32_t index() const { return index_; }
+
+  /// The sequential engine that owns this partition's components.
+  Simulator& sim() { return sim_; }
+
+  /// Thread-safe: enqueues a message from another partition. Called by
+  /// ParallelEngine::send_cross.
+  void post(CrossMessage m);
+
+  /// Drains the inbox into the local event queue, in deterministic order
+  /// (by deliver time, then source partition, then per-source sequence).
+  /// Returns the number of messages drained. Must be called only at a
+  /// barrier (no concurrent post).
+  std::size_t drain_inbox();
+
+ private:
+  std::uint32_t index_;
+  Simulator sim_;
+  std::mutex inbox_mu_;
+  std::vector<CrossMessage> inbox_;
+};
+
+/// Window-barrier conservative PDES engine.
+class ParallelEngine {
+ public:
+  struct Config {
+    /// Number of partitions (= worker threads).
+    std::uint32_t num_partitions = 2;
+    /// Minimum latency of any cross-partition interaction. Correctness
+    /// requires every cross-partition send to be delivered at least this
+    /// far in the future; send_cross enforces it.
+    SimTime lookahead = SimTime::from_us(1);
+    /// Modeled inter-machine synchronization cost added (by spinning wall
+    /// clock) once per sync round. Zero for shared-memory runs.
+    double round_overhead_us = 0.0;
+    /// Modeled cost per cross-partition message (serialization + wire),
+    /// added per round multiplied by the number of messages that round.
+    double per_message_overhead_us = 0.0;
+    /// RNG seed; partition i uses seed + i.
+    std::uint64_t seed = 1;
+  };
+
+  /// Aggregate statistics of a run, for benchmarking.
+  struct Stats {
+    std::uint64_t sync_rounds = 0;
+    std::uint64_t cross_messages = 0;
+    std::uint64_t events_executed = 0;
+    double modeled_overhead_seconds = 0.0;  // wall time spent in the model
+  };
+
+  explicit ParallelEngine(Config config);
+  ~ParallelEngine();
+
+  ParallelEngine(const ParallelEngine&) = delete;
+  ParallelEngine& operator=(const ParallelEngine&) = delete;
+
+  /// Accessor for partition `i` (valid for the engine's lifetime).
+  Partition& partition(std::uint32_t i) { return *partitions_[i]; }
+
+  /// Number of partitions.
+  std::uint32_t num_partitions() const {
+    return static_cast<std::uint32_t>(partitions_.size());
+  }
+
+  /// The conservative lookahead this engine was configured with.
+  SimTime lookahead() const { return config_.lookahead; }
+
+  /// Sends `fn` for execution in partition `to` at virtual time
+  /// `deliver_at`. Must satisfy deliver_at >= sender's now + lookahead;
+  /// violations throw (they would break conservative causality).
+  void send_cross(std::uint32_t from, std::uint32_t to, SimTime deliver_at,
+                  std::function<void()> fn);
+
+  /// Runs all partitions to virtual time `end` using worker threads.
+  /// Blocking; may be called repeatedly to extend a run.
+  void run_until(SimTime end);
+
+  /// Statistics accumulated across run_until calls.
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void spin_overhead(double microseconds);
+
+  Config config_;
+  std::vector<std::unique_ptr<Partition>> partitions_;
+  std::vector<std::atomic<std::uint64_t>> send_seq_;
+  std::atomic<std::uint64_t> round_messages_{0};
+  Stats stats_;
+};
+
+}  // namespace esim::sim

@@ -1,0 +1,69 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "sim/component.h"
+
+namespace esim::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_{seed} {}
+
+Simulator::~Simulator() = default;
+
+EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::logic_error("schedule_at: time " + t.to_string() +
+                           " is in the past (now=" + now_.to_string() + ")");
+  }
+  return queue_.schedule(t, std::move(fn));
+}
+
+EventHandle Simulator::schedule_in(SimTime d, std::function<void()> fn) {
+  if (d < SimTime{}) {
+    throw std::logic_error("schedule_in: negative delay " + d.to_string());
+  }
+  return queue_.schedule(now_ + d, std::move(fn));
+}
+
+bool Simulator::cancel(EventHandle h) { return queue_.cancel(h); }
+
+bool Simulator::step() {
+  auto ev = queue_.pop();
+  if (!ev) return false;
+  assert(ev->time >= now_);
+  now_ = ev->time;
+  ++events_executed_;
+  ev->fn();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime end) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty()) {
+    if (queue_.next_time() >= end) {
+      now_ = end;
+      return;
+    }
+    step();
+  }
+  if (now_ < end) now_ = end;
+}
+
+Component* Simulator::find_component(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+void Simulator::register_component(std::unique_ptr<Component> c) {
+  by_name_.try_emplace(c->name(), c.get());
+  components_.push_back(std::move(c));
+}
+
+}  // namespace esim::sim

@@ -1,0 +1,118 @@
+// The sequential discrete-event simulation engine.
+//
+// A `Simulator` owns the future-event set, the virtual clock, the root RNG,
+// and a registry of named components. It is the single-threaded engine used
+// by full-fidelity simulations and by each partition of the parallel engine
+// (see parallel.h).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/logger.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace esim::sim {
+
+class Component;
+
+/// Discrete-event simulation engine: virtual clock + future-event set.
+///
+/// Typical use:
+///
+///   Simulator sim{/*seed=*/42};
+///   auto* host = sim.add_component<Host>(...);
+///   sim.schedule_in(SimTime::from_ms(1), [&]{ ... });
+///   sim.run_until(SimTime::from_sec(5));
+class Simulator {
+ public:
+  /// Constructs an engine whose root RNG is seeded with `seed`.
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
+  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a delay of `d` (must be >= 0).
+  EventHandle schedule_in(SimTime d, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns false if already fired or cancelled.
+  bool cancel(EventHandle h);
+
+  /// Runs until the event set is exhausted or stop() is called.
+  void run();
+
+  /// Runs until virtual time reaches `end` (events at exactly `end` are NOT
+  /// executed), the event set empties, or stop() is called. The clock is
+  /// left at min(end, time of last executed event-set state).
+  void run_until(SimTime end);
+
+  /// Executes at most one event. Returns false when none remain.
+  bool step();
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events ever scheduled (executed + pending + cancelled).
+  std::uint64_t events_scheduled() const { return queue_.total_scheduled(); }
+
+  /// Number of pending events.
+  std::size_t events_pending() const { return queue_.size(); }
+
+  /// Time of the earliest pending event. Requires events_pending() > 0.
+  SimTime next_event_time() { return queue_.next_time(); }
+
+  /// Root RNG. Components should `fork()` their own stream from this at
+  /// construction so later additions don't shift earlier streams.
+  Rng& rng() { return rng_; }
+
+  /// Diagnostics logger shared by all components.
+  Logger& logger() { return logger_; }
+
+  /// Constructs a component in place, registers it under its name, and
+  /// returns a non-owning pointer. The simulator owns the component.
+  template <typename T, typename... Args>
+  T* add_component(Args&&... args) {
+    auto owned = std::make_unique<T>(*this, std::forward<Args>(args)...);
+    T* raw = owned.get();
+    register_component(std::move(owned));
+    return raw;
+  }
+
+  /// Looks up a component by registered name; nullptr if absent.
+  Component* find_component(const std::string& name) const;
+
+  /// All registered components, in registration order.
+  const std::vector<std::unique_ptr<Component>>& components() const {
+    return components_;
+  }
+
+ private:
+  void register_component(std::unique_ptr<Component> c);
+
+  SimTime now_;
+  EventQueue queue_;
+  Rng rng_;
+  Logger logger_;
+  bool stopped_ = false;
+  std::uint64_t events_executed_ = 0;
+  std::vector<std::unique_ptr<Component>> components_;
+  std::unordered_map<std::string, Component*> by_name_;
+};
+
+}  // namespace esim::sim

@@ -1,0 +1,23 @@
+#include "sim/time.h"
+
+#include <cstdio>
+
+namespace esim::sim {
+
+std::string SimTime::to_string() const {
+  char buf[48];
+  const double ns = static_cast<double>(ns_);
+  if (ns_ == 0) return "0s";
+  if (ns < 1e3 && ns > -1e3) {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns_));
+  } else if (ns < 1e6 && ns > -1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fus", ns / 1e3);
+  } else if (ns < 1e9 && ns > -1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fms", ns / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.6fs", ns / 1e9);
+  }
+  return buf;
+}
+
+}  // namespace esim::sim

@@ -1,0 +1,88 @@
+// SimTime: strongly typed simulation time with nanosecond resolution.
+//
+// ElephantSim never uses floating-point clocks for simulation logic: all
+// event ordering is exact 64-bit integer arithmetic, which keeps runs
+// bit-for-bit deterministic across platforms. Floating-point conversions are
+// provided only at the reporting boundary (`to_seconds`).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace esim::sim {
+
+/// A point in (or span of) virtual time, stored as signed 64-bit
+/// nanoseconds. The same type serves as both instant and duration, as is
+/// conventional in discrete-event simulators; arithmetic never saturates,
+/// so callers must not exceed ~292 years of virtual time.
+class SimTime {
+ public:
+  /// Zero time (the epoch of every simulation).
+  constexpr SimTime() = default;
+
+  /// Constructs from a raw nanosecond count.
+  static constexpr SimTime from_ns(std::int64_t ns) { return SimTime{ns}; }
+  /// Constructs from microseconds.
+  static constexpr SimTime from_us(std::int64_t us) {
+    return SimTime{us * 1000};
+  }
+  /// Constructs from milliseconds.
+  static constexpr SimTime from_ms(std::int64_t ms) {
+    return SimTime{ms * 1'000'000};
+  }
+  /// Constructs from whole seconds.
+  static constexpr SimTime from_sec(std::int64_t s) {
+    return SimTime{s * 1'000'000'000};
+  }
+  /// Constructs from fractional seconds (reporting/config boundary only).
+  static constexpr SimTime from_seconds_f(double s) {
+    return SimTime{static_cast<std::int64_t>(s * 1e9)};
+  }
+  /// The largest representable time; used as "never".
+  static constexpr SimTime max() {
+    return SimTime{std::numeric_limits<std::int64_t>::max()};
+  }
+
+  /// Raw nanosecond count.
+  constexpr std::int64_t ns() const { return ns_; }
+  /// Value in fractional microseconds.
+  constexpr double to_us() const { return static_cast<double>(ns_) / 1e3; }
+  /// Value in fractional seconds.
+  constexpr double to_seconds() const {
+    return static_cast<double>(ns_) / 1e9;
+  }
+
+  constexpr bool operator==(const SimTime&) const = default;
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  constexpr SimTime operator+(SimTime o) const { return SimTime{ns_ + o.ns_}; }
+  constexpr SimTime operator-(SimTime o) const { return SimTime{ns_ - o.ns_}; }
+  constexpr SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  constexpr SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  /// Scales a duration by an integer factor.
+  constexpr SimTime operator*(std::int64_t k) const {
+    return SimTime{ns_ * k};
+  }
+  /// Scales a duration by a real factor (rounds toward zero).
+  constexpr SimTime scaled(double k) const {
+    return SimTime{static_cast<std::int64_t>(static_cast<double>(ns_) * k)};
+  }
+  /// Integer division of two durations (e.g. how many windows fit).
+  constexpr std::int64_t operator/(SimTime o) const { return ns_ / o.ns_; }
+
+  /// Human-readable rendering with an adaptive unit, e.g. "12.5us".
+  std::string to_string() const;
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_{ns} {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace esim::sim

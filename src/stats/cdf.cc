@@ -1,0 +1,87 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace esim::stats {
+
+void EmpiricalCdf::add(double x) {
+  samples_.push_back(x);
+  sorted_ = samples_.size() <= 1;
+}
+
+void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = samples_.size() <= 1;
+}
+
+void EmpiricalCdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (samples_.empty()) {
+    throw std::logic_error("EmpiricalCdf::quantile on empty distribution");
+  }
+  if (p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("EmpiricalCdf::quantile: p outside [0,1]");
+  }
+  ensure_sorted();
+  const auto n = samples_.size();
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(std::floor(p * static_cast<double>(n)),
+                       static_cast<double>(n - 1)));
+  return samples_[idx];
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::min() const {
+  if (samples_.empty()) {
+    throw std::logic_error("EmpiricalCdf::min on empty distribution");
+  }
+  ensure_sorted();
+  return samples_.front();
+}
+
+double EmpiricalCdf::max() const {
+  if (samples_.empty()) {
+    throw std::logic_error("EmpiricalCdf::max on empty distribution");
+  }
+  ensure_sorted();
+  return samples_.back();
+}
+
+const std::vector<double>& EmpiricalCdf::sorted() const {
+  ensure_sorted();
+  return samples_;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::curve(
+    std::size_t n) const {
+  if (n < 2) throw std::invalid_argument("EmpiricalCdf::curve: n < 2");
+  if (samples_.empty()) return {};
+  ensure_sorted();
+  std::vector<std::pair<double, double>> points;
+  points.reserve(n);
+  const double lo = samples_.front();
+  const double hi = samples_.back();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+    points.emplace_back(x, at(x));
+  }
+  return points;
+}
+
+}  // namespace esim::stats

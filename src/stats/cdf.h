@@ -1,0 +1,54 @@
+// Empirical distributions: sample collection, quantiles, and CDF queries.
+//
+// Figure 4 of the paper compares the RTT CDFs of the groundtruth and
+// approximate simulations; this is the container both sides fill.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace esim::stats {
+
+/// An empirical cumulative distribution built from raw samples.
+///
+/// Samples are accumulated unordered; queries sort lazily (amortized).
+class EmpiricalCdf {
+ public:
+  /// Adds one sample.
+  void add(double x);
+
+  /// Adds many samples.
+  void add_all(const std::vector<double>& xs);
+
+  /// Number of samples.
+  std::size_t size() const { return samples_.size(); }
+  /// True when no samples have been added.
+  bool empty() const { return samples_.empty(); }
+
+  /// Quantile for p in [0, 1] (nearest-rank; p=0 -> min, p=1 -> max).
+  /// Requires at least one sample.
+  double quantile(double p) const;
+
+  /// Fraction of samples <= x (the CDF evaluated at x).
+  double at(double x) const;
+
+  /// Smallest and largest sample. Require at least one sample.
+  double min() const;
+  double max() const;
+
+  /// Sorted copy of the samples.
+  const std::vector<double>& sorted() const;
+
+  /// Evenly spaced (value, cumulative fraction) points for plotting,
+  /// `n` >= 2 points from min to max.
+  std::vector<std::pair<double, double>> curve(std::size_t n) const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace esim::stats

@@ -1,0 +1,81 @@
+#include "stats/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace esim::stats {
+namespace {
+
+void require_nonempty(const EmpiricalCdf& a, const EmpiricalCdf& b,
+                      const char* what) {
+  if (a.empty() || b.empty()) {
+    throw std::logic_error(std::string(what) + ": empty distribution");
+  }
+}
+
+}  // namespace
+
+double ks_distance(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  require_nonempty(a, b, "ks_distance");
+  const auto& xa = a.sorted();
+  const auto& xb = b.sorted();
+  const double na = static_cast<double>(xa.size());
+  const double nb = static_cast<double>(xb.size());
+  double d = 0.0;
+  std::size_t i = 0, j = 0;
+  // Sweep the merged sample points; the sup is attained at a sample.
+  while (i < xa.size() && j < xb.size()) {
+    const double x = std::min(xa[i], xb[j]);
+    while (i < xa.size() && xa[i] <= x) ++i;
+    while (j < xb.size() && xb[j] <= x) ++j;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  // Tail where one side is exhausted: |1 - F_other| is maximal at the first
+  // remaining point's predecessor, already covered by the loop's last step,
+  // but sweep the rest for completeness.
+  while (i < xa.size()) {
+    ++i;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  while (j < xb.size()) {
+    ++j;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    d = std::max(d, std::abs(fa - fb));
+  }
+  return d;
+}
+
+double wasserstein_distance(const EmpiricalCdf& a, const EmpiricalCdf& b) {
+  require_nonempty(a, b, "wasserstein_distance");
+  const auto& xa = a.sorted();
+  const auto& xb = b.sorted();
+  const double na = static_cast<double>(xa.size());
+  const double nb = static_cast<double>(xb.size());
+
+  // Merge all sample points and integrate |F_a - F_b| dx exactly.
+  std::vector<double> xs;
+  xs.reserve(xa.size() + xb.size());
+  xs.insert(xs.end(), xa.begin(), xa.end());
+  xs.insert(xs.end(), xb.begin(), xb.end());
+  std::sort(xs.begin(), xs.end());
+
+  double total = 0.0;
+  std::size_t i = 0, j = 0;
+  for (std::size_t k = 0; k + 1 < xs.size(); ++k) {
+    while (i < xa.size() && xa[i] <= xs[k]) ++i;
+    while (j < xb.size() && xb[j] <= xs[k]) ++j;
+    const double fa = static_cast<double>(i) / na;
+    const double fb = static_cast<double>(j) / nb;
+    total += std::abs(fa - fb) * (xs[k + 1] - xs[k]);
+  }
+  return total;
+}
+
+}  // namespace esim::stats

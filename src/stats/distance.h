@@ -1,0 +1,22 @@
+// Distances between empirical distributions.
+//
+// EXPERIMENTS.md reports the Kolmogorov–Smirnov statistic and the 1-D
+// Wasserstein (earth mover's) distance between the groundtruth and
+// approximate RTT CDFs, quantifying what Figure 4 of the paper shows
+// visually.
+#pragma once
+
+#include "stats/cdf.h"
+
+namespace esim::stats {
+
+/// Two-sample Kolmogorov–Smirnov statistic: sup_x |F_a(x) - F_b(x)|.
+/// Returns a value in [0, 1]; 0 means identical empirical CDFs.
+/// Requires both distributions to be non-empty.
+double ks_distance(const EmpiricalCdf& a, const EmpiricalCdf& b);
+
+/// 1-D Wasserstein-1 distance (area between the two CDFs), in the units of
+/// the samples. Requires both distributions to be non-empty.
+double wasserstein_distance(const EmpiricalCdf& a, const EmpiricalCdf& b);
+
+}  // namespace esim::stats

@@ -1,0 +1,91 @@
+// End host: NIC + TCP connection demultiplexer.
+//
+// A Host owns its TCP connections and transmits through a single uplink
+// Link toward its ToR (or, in approximate simulations, toward the cluster
+// model standing in for the fabric — the host neither knows nor cares,
+// which is exactly the boundary contract of paper §5: approximated clusters
+// still run full TCP stacks).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/link.h"
+#include "net/packet.h"
+#include "sim/component.h"
+#include "stats/collectors.h"
+#include "tcp/tcp_connection.h"
+
+namespace esim::tcp {
+
+/// A server. Implements PacketHandler (the downlink delivers into it) and
+/// TcpEndpoint (its connections transmit through it).
+class Host : public sim::Component,
+             public net::PacketHandler,
+             public TcpEndpoint {
+ public:
+  /// `id` is the topology-assigned dense host id; `tcp_config` applies to
+  /// every connection this host originates or accepts.
+  Host(sim::Simulator& sim, std::string name, net::HostId id,
+       const TcpConnection::Config& tcp_config = {});
+
+  ~Host() override;
+
+  /// Dense host id.
+  net::HostId id() const { return id_; }
+
+  /// Attaches the transmit link toward the fabric. Must be called before
+  /// any flow starts. The link is owned by the simulator.
+  void set_uplink(net::Link* uplink) { uplink_ = uplink; }
+
+  /// The transmit link, or nullptr before set_uplink.
+  net::Link* uplink() const { return uplink_; }
+
+  /// Opens a new flow of `bytes` payload to `dst` (well-known port 80) and
+  /// starts the handshake. Returns the connection, owned by this host.
+  TcpConnection* open_flow(net::HostId dst, std::uint64_t bytes,
+                           std::uint64_t flow_id);
+
+  /// Active + passive connections keyed by this side's outgoing 4-tuple.
+  const std::unordered_map<net::FlowKey, std::unique_ptr<TcpConnection>,
+                           net::FlowKeyHash>&
+  connections() const {
+    return connections_;
+  }
+
+  /// Called when a passive connection is created in response to a SYN,
+  /// before the SYN is processed; use it to attach callbacks.
+  std::function<void(TcpConnection&)> on_accept;
+
+  /// Routes this host's RTT samples into a shared collector (Figure 4).
+  void set_rtt_collector(stats::LatencyCollector* collector) {
+    rtt_collector_ = collector;
+  }
+
+  /// Packets handed to connections vs. dropped for want of one.
+  const stats::PacketCounter& counter() const { return counter_; }
+
+  // --- net::PacketHandler ---
+  void handle_packet(net::Packet pkt) override;
+
+  // --- TcpEndpoint ---
+  void tcp_transmit(net::Packet pkt) override;
+  sim::Simulator& tcp_sim() override { return sim(); }
+  void tcp_rtt_sample(sim::SimTime rtt) override;
+
+ private:
+  net::HostId id_;
+  TcpConnection::Config tcp_config_;
+  net::Link* uplink_ = nullptr;
+  std::unordered_map<net::FlowKey, std::unique_ptr<TcpConnection>,
+                     net::FlowKeyHash>
+      connections_;
+  stats::LatencyCollector* rtt_collector_ = nullptr;
+  stats::PacketCounter counter_;
+  std::uint16_t next_port_ = 10'000;
+  std::uint64_t next_packet_seq_ = 0;
+};
+
+}  // namespace esim::tcp

@@ -1,0 +1,38 @@
+#include "tcp/rto.h"
+
+namespace esim::tcp {
+
+RtoEstimator::RtoEstimator() : RtoEstimator(Config{}) {}
+
+RtoEstimator::RtoEstimator(const Config& config)
+    : config_{config}, rto_{config.initial} {}
+
+void RtoEstimator::add_sample(sim::SimTime rtt) {
+  if (rtt < sim::SimTime{}) rtt = sim::SimTime{};
+  if (!has_sample_) {
+    srtt_ = rtt;
+    rttvar_ = sim::SimTime::from_ns(rtt.ns() / 2);
+    has_sample_ = true;
+  } else {
+    const std::int64_t err = srtt_.ns() - rtt.ns();
+    const std::int64_t abs_err = err < 0 ? -err : err;
+    // RTTVAR <- 3/4 RTTVAR + 1/4 |SRTT - R|
+    rttvar_ = sim::SimTime::from_ns((3 * rttvar_.ns() + abs_err) / 4);
+    // SRTT <- 7/8 SRTT + 1/8 R
+    srtt_ = sim::SimTime::from_ns((7 * srtt_.ns() + rtt.ns()) / 8);
+  }
+  rto_ = srtt_ + rttvar_ * 4;
+  clamp();
+}
+
+void RtoEstimator::backoff() {
+  rto_ = rto_ * 2;
+  clamp();
+}
+
+void RtoEstimator::clamp() {
+  if (rto_ < config_.min) rto_ = config_.min;
+  if (rto_ > config_.max) rto_ = config_.max;
+}
+
+}  // namespace esim::tcp

@@ -1,0 +1,61 @@
+// RFC 6298 retransmission-timeout estimation.
+#pragma once
+
+#include "sim/time.h"
+
+namespace esim::tcp {
+
+/// Smoothed RTT / RTT variance estimator with exponential timer backoff,
+/// following RFC 6298 (alpha = 1/8, beta = 1/4, RTO = SRTT + 4*RTTVAR).
+///
+/// RTT samples come from the simulated TCP timestamp option, so samples
+/// from retransmitted segments are valid (RFC 7323 semantics) and Karn's
+/// algorithm is unnecessary.
+class RtoEstimator {
+ public:
+  struct Config {
+    /// RTO before any RTT sample exists (RFC: 1 s; scaled down because a
+    /// simulated data center handshake RTT is tens of microseconds).
+    sim::SimTime initial = sim::SimTime::from_ms(100);
+    /// Lower bound on the computed RTO (Linux: 200 ms; data center
+    /// simulation convention, e.g. the DCTCP evaluation: ~10 ms).
+    sim::SimTime min = sim::SimTime::from_ms(10);
+    /// Upper bound on the computed RTO.
+    sim::SimTime max = sim::SimTime::from_sec(60);
+  };
+
+  /// Default-configured estimator.
+  RtoEstimator();
+
+  explicit RtoEstimator(const Config& config);
+
+  /// Folds in one RTT measurement and recomputes the RTO (also clears any
+  /// backoff, per RFC 6298 §5.7).
+  void add_sample(sim::SimTime rtt);
+
+  /// Current retransmission timeout, including backoff.
+  sim::SimTime rto() const { return rto_; }
+
+  /// Doubles the RTO (clamped to max). Call on retransmission timeout.
+  void backoff();
+
+  /// Smoothed RTT (zero until the first sample).
+  sim::SimTime srtt() const { return srtt_; }
+
+  /// RTT variance (zero until the first sample).
+  sim::SimTime rttvar() const { return rttvar_; }
+
+  /// True once at least one sample has been folded in.
+  bool has_sample() const { return has_sample_; }
+
+ private:
+  void clamp();
+
+  Config config_;
+  sim::SimTime srtt_;
+  sim::SimTime rttvar_;
+  sim::SimTime rto_;
+  bool has_sample_ = false;
+};
+
+}  // namespace esim::tcp

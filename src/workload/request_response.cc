@@ -1,0 +1,91 @@
+#include "workload/request_response.h"
+
+#include <stdexcept>
+
+namespace esim::workload {
+
+namespace {
+// Exchange ids are carried in flow ids: request = id, response = id with
+// the top bit set, so the server can recover the exchange from the SYN.
+constexpr std::uint64_t kResponseBit = 1ULL << 63;
+}  // namespace
+
+RequestResponseApp::RequestResponseApp(sim::Simulator& sim, std::string name,
+                                       std::vector<tcp::Host*> hosts,
+                                       const FlowSizeDistribution* responses,
+                                       const TrafficMatrix* matrix,
+                                       const Config& config)
+    : Component(sim, std::move(name)),
+      hosts_{std::move(hosts)},
+      responses_{responses},
+      matrix_{matrix},
+      config_{config} {
+  if (hosts_.empty() || responses_ == nullptr || matrix_ == nullptr) {
+    throw std::invalid_argument("RequestResponseApp: missing pieces");
+  }
+  if (config_.arrivals_per_second <= 0 || config_.request_bytes == 0) {
+    throw std::invalid_argument("RequestResponseApp: bad config");
+  }
+  for (auto* host : hosts_) {
+    host->on_accept = [this](tcp::TcpConnection& c) {
+      on_server_accept(c);
+    };
+  }
+}
+
+void RequestResponseApp::start() { schedule_next(); }
+
+void RequestResponseApp::schedule_next() {
+  if (config_.max_exchanges != 0 && next_id_ > config_.max_exchanges) return;
+  const double gap_s = rng().exponential(1.0 / config_.arrivals_per_second);
+  const sim::SimTime at = now() + sim::SimTime::from_seconds_f(gap_s);
+  if (config_.stop_at != sim::SimTime{} && at >= config_.stop_at) return;
+  schedule_at(at, [this] { issue_request(); });
+}
+
+void RequestResponseApp::issue_request() {
+  const auto [client, server] = matrix_->sample(rng());
+  const std::uint64_t id = next_id_++;
+  Exchange ex;
+  ex.id = id;
+  ex.client = client;
+  ex.server = server;
+  ex.response_bytes = responses_->sample(rng());
+  ex.started = now();
+  by_id_[id] = exchanges_.size();
+  exchanges_.push_back(ex);
+
+  hosts_.at(client)->open_flow(server, config_.request_bytes, id);
+  schedule_next();
+}
+
+void RequestResponseApp::on_server_accept(tcp::TcpConnection& conn) {
+  const std::uint64_t flow_id = conn.flow_id();
+  if ((flow_id & kResponseBit) != 0) return;  // it's one of our responses
+  const auto it = by_id_.find(flow_id);
+  if (it == by_id_.end()) return;  // someone else's flow
+  const std::size_t index = it->second;
+  conn.on_closed = [this, index] {
+    // Request fully received: send the response body back.
+    Exchange& ex = exchanges_[index];
+    auto* response = hosts_.at(ex.server)->open_flow(
+        ex.client, ex.response_bytes, ex.id | kResponseBit);
+    response->on_complete = [this, index] {
+      Exchange& done = exchanges_[index];
+      if (done.done) return;
+      done.done = true;
+      done.finished = now();
+      ++completed_;
+    };
+  };
+}
+
+stats::EmpiricalCdf RequestResponseApp::duration_cdf() const {
+  stats::EmpiricalCdf cdf;
+  for (const auto& ex : exchanges_) {
+    if (ex.done) cdf.add(ex.duration().to_seconds());
+  }
+  return cdf;
+}
+
+}  // namespace esim::workload

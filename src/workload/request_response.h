@@ -1,0 +1,87 @@
+// Request/response application: the interactive half of data center web
+// traffic (queries in the DCTCP workload the paper's evaluation draws
+// from). A client sends a small request to a server; when the server's
+// stack sees the request complete (FIN consumed), it opens a response
+// flow back whose size is drawn from the response distribution. The
+// measured quantity is the full exchange latency: request start to
+// response fully acknowledged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/component.h"
+#include "stats/collectors.h"
+#include "tcp/host.h"
+#include "workload/flow_size.h"
+#include "workload/traffic_matrix.h"
+
+namespace esim::workload {
+
+/// Drives Poisson request arrivals and server responses over tcp::Hosts.
+///
+/// Installs itself as every host's on_accept handler; at most one
+/// RequestResponseApp (or other on_accept consumer) per host set.
+class RequestResponseApp : public sim::Component {
+ public:
+  struct Config {
+    /// Request body size (queries are small).
+    std::uint64_t request_bytes = 1'000;
+    /// Mean request arrival rate across all clients, exchanges/sec.
+    double arrivals_per_second = 10'000.0;
+    /// Stop issuing new requests after this time (0 = never).
+    sim::SimTime stop_at;
+    /// Hard cap on exchanges (0 = unlimited).
+    std::uint64_t max_exchanges = 0;
+  };
+
+  /// One completed (or in-flight) exchange.
+  struct Exchange {
+    std::uint64_t id = 0;
+    net::HostId client = 0;
+    net::HostId server = 0;
+    std::uint64_t response_bytes = 0;
+    sim::SimTime started;
+    sim::SimTime finished;
+    bool done = false;
+    /// Request-to-response latency; meaningful when done.
+    sim::SimTime duration() const { return finished - started; }
+  };
+
+  /// `hosts[i]` must be host id i. `responses` samples the response body
+  /// size; `matrix` picks (client, server) pairs.
+  RequestResponseApp(sim::Simulator& sim, std::string name,
+                     std::vector<tcp::Host*> hosts,
+                     const FlowSizeDistribution* responses,
+                     const TrafficMatrix* matrix, const Config& config);
+
+  /// Starts the arrival process.
+  void start();
+
+  /// All exchanges, in start order.
+  const std::vector<Exchange>& exchanges() const { return exchanges_; }
+
+  /// Completed exchange count.
+  std::size_t completed() const { return completed_; }
+
+  /// Distribution of exchange durations (seconds), completed only.
+  stats::EmpiricalCdf duration_cdf() const;
+
+ private:
+  void schedule_next();
+  void issue_request();
+  void on_server_accept(tcp::TcpConnection& conn);
+
+  std::vector<tcp::Host*> hosts_;
+  const FlowSizeDistribution* responses_;
+  const TrafficMatrix* matrix_;
+  Config config_;
+  std::vector<Exchange> exchanges_;
+  std::unordered_map<std::uint64_t, std::size_t> by_id_;
+  std::size_t completed_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace esim::workload

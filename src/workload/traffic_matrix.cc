@@ -1,0 +1,107 @@
+#include "workload/traffic_matrix.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace esim::workload {
+
+UniformTraffic::UniformTraffic(std::uint32_t num_hosts)
+    : num_hosts_{num_hosts} {
+  if (num_hosts < 2) {
+    throw std::invalid_argument("UniformTraffic: need >= 2 hosts");
+  }
+}
+
+std::pair<net::HostId, net::HostId> UniformTraffic::sample(
+    sim::Rng& rng) const {
+  const auto src = static_cast<net::HostId>(rng.uniform_int(num_hosts_));
+  auto dst = static_cast<net::HostId>(rng.uniform_int(num_hosts_ - 1));
+  if (dst >= src) ++dst;
+  return {src, dst};
+}
+
+ClusterMixTraffic::ClusterMixTraffic(const net::ClosSpec& spec,
+                                     double intra_fraction)
+    : spec_{spec}, intra_fraction_{intra_fraction} {
+  spec_.validate();
+  if (intra_fraction < 0.0 || intra_fraction > 1.0) {
+    throw std::invalid_argument("ClusterMixTraffic: fraction outside [0,1]");
+  }
+  if (spec_.clusters < 2 && intra_fraction < 1.0) {
+    throw std::invalid_argument(
+        "ClusterMixTraffic: inter-cluster traffic needs >= 2 clusters");
+  }
+  if (spec_.hosts_per_cluster() < 2 && intra_fraction > 0.0) {
+    throw std::invalid_argument(
+        "ClusterMixTraffic: intra-cluster traffic needs >= 2 hosts per "
+        "cluster");
+  }
+}
+
+std::pair<net::HostId, net::HostId> ClusterMixTraffic::sample(
+    sim::Rng& rng) const {
+  const auto src =
+      static_cast<net::HostId>(rng.uniform_int(spec_.total_hosts()));
+  const std::uint32_t src_cluster = spec_.cluster_of_host(src);
+  const std::uint32_t hpc = spec_.hosts_per_cluster();
+  if (rng.uniform() < intra_fraction_) {
+    // Destination inside the source's cluster, != src.
+    auto offset = static_cast<std::uint32_t>(rng.uniform_int(hpc - 1));
+    const std::uint32_t src_offset = src % hpc;
+    if (offset >= src_offset) ++offset;
+    return {src, src_cluster * hpc + offset};
+  }
+  // Destination in a different cluster.
+  auto cluster =
+      static_cast<std::uint32_t>(rng.uniform_int(spec_.clusters - 1));
+  if (cluster >= src_cluster) ++cluster;
+  const auto offset = static_cast<std::uint32_t>(rng.uniform_int(hpc));
+  return {src, cluster * hpc + offset};
+}
+
+IncastTraffic::IncastTraffic(std::uint32_t num_hosts, net::HostId sink)
+    : num_hosts_{num_hosts}, sink_{sink} {
+  if (num_hosts < 2) {
+    throw std::invalid_argument("IncastTraffic: need >= 2 hosts");
+  }
+  if (sink >= num_hosts) {
+    throw std::invalid_argument("IncastTraffic: sink out of range");
+  }
+}
+
+std::pair<net::HostId, net::HostId> IncastTraffic::sample(
+    sim::Rng& rng) const {
+  auto src = static_cast<net::HostId>(rng.uniform_int(num_hosts_ - 1));
+  if (src >= sink_) ++src;
+  return {src, sink_};
+}
+
+PermutationTraffic::PermutationTraffic(std::uint32_t num_hosts,
+                                       std::uint64_t seed) {
+  if (num_hosts < 2) {
+    throw std::invalid_argument("PermutationTraffic: need >= 2 hosts");
+  }
+  perm_.resize(num_hosts);
+  std::iota(perm_.begin(), perm_.end(), 0u);
+  sim::Rng rng{seed};
+  // Fisher-Yates, then fix any fixed points by swapping with a neighbour.
+  for (std::uint32_t i = num_hosts - 1; i > 0; --i) {
+    const auto j = static_cast<std::uint32_t>(rng.uniform_int(i + 1));
+    std::swap(perm_[i], perm_[j]);
+  }
+  for (std::uint32_t i = 0; i < num_hosts; ++i) {
+    if (perm_[i] == i) {
+      const std::uint32_t j = (i + 1) % num_hosts;
+      std::swap(perm_[i], perm_[j]);
+    }
+  }
+}
+
+std::pair<net::HostId, net::HostId> PermutationTraffic::sample(
+    sim::Rng& rng) const {
+  const auto src =
+      static_cast<net::HostId>(rng.uniform_int(perm_.size()));
+  return {src, perm_[src]};
+}
+
+}  // namespace esim::workload

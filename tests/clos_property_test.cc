@@ -1,0 +1,140 @@
+// Property tests over Clos topologies of many shapes: path-replay
+// validity, and the stronger end-to-end invariant that every injected
+// packet is forwarded by the built network to exactly its destination
+// host along the replayed path.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "core/full_builder.h"
+#include "net/clos.h"
+#include "sim/random.h"
+
+namespace esim::net {
+namespace {
+
+struct Shape {
+  std::uint32_t clusters, tors, aggs, hosts_per_tor, cores;
+};
+
+ClosSpec to_spec(const Shape& s) {
+  ClosSpec spec;
+  spec.clusters = s.clusters;
+  spec.tors_per_cluster = s.tors;
+  spec.aggs_per_cluster = s.aggs;
+  spec.hosts_per_tor = s.hosts_per_tor;
+  spec.cores = s.cores;
+  spec.validate();
+  return spec;
+}
+
+class ClosShapeProperty : public ::testing::TestWithParam<Shape> {};
+
+TEST_P(ClosShapeProperty, PathReplayInvariants) {
+  const auto spec = to_spec(GetParam());
+  sim::Rng rng{GetParam().clusters * 131 + GetParam().tors};
+  for (int trial = 0; trial < 200; ++trial) {
+    FlowKey flow;
+    flow.src_host = static_cast<HostId>(rng.uniform_int(spec.total_hosts()));
+    do {
+      flow.dst_host =
+          static_cast<HostId>(rng.uniform_int(spec.total_hosts()));
+    } while (flow.dst_host == flow.src_host);
+    flow.src_port = static_cast<std::uint16_t>(rng.uniform_int(50'000));
+    flow.dst_port = 80;
+
+    const auto path = compute_path(spec, flow);
+    ASSERT_GE(path.len, 1u);
+    ASSERT_LE(path.len, 5u);
+    // First hop is always the source ToR; last is the destination ToR.
+    EXPECT_EQ(path.hops[0], spec.tor_of_host(flow.src_host));
+    EXPECT_EQ(path.hops[path.len - 1], spec.tor_of_host(flow.dst_host));
+    // Layer pattern by length.
+    if (path.len == 1) {
+      EXPECT_EQ(spec.tor_of_host(flow.src_host),
+                spec.tor_of_host(flow.dst_host));
+    } else if (path.len == 3) {
+      EXPECT_TRUE(spec.is_agg(path.hops[1]));
+      EXPECT_EQ(spec.cluster_of_switch(path.hops[1]),
+                spec.cluster_of_host(flow.src_host));
+    } else {
+      ASSERT_EQ(path.len, 5u);
+      EXPECT_TRUE(spec.is_agg(path.hops[1]));
+      EXPECT_TRUE(spec.is_core(path.hops[2]));
+      EXPECT_TRUE(spec.is_agg(path.hops[3]));
+      EXPECT_EQ(spec.cluster_of_switch(path.hops[1]),
+                spec.cluster_of_host(flow.src_host));
+      EXPECT_EQ(spec.cluster_of_switch(path.hops[3]),
+                spec.cluster_of_host(flow.dst_host));
+    }
+    // Replay is deterministic.
+    EXPECT_EQ(compute_path(spec, flow), path);
+  }
+}
+
+TEST_P(ClosShapeProperty, BuiltNetworkDeliversToExactDestination) {
+  const auto spec = to_spec(GetParam());
+  sim::Simulator sim{7};
+  core::NetworkConfig cfg;
+  cfg.spec = spec;
+  auto net = core::build_full_network(sim, cfg);
+
+  // Tap every host downlink: note which host each packet reaches.
+  std::vector<std::uint64_t> delivered_to(spec.total_hosts(), 0);
+  std::uint64_t deliveries = 0;
+  for (HostId h = 0; h < spec.total_hosts(); ++h) {
+    net.host_downlinks[h]->on_transmit =
+        [&delivered_to, &deliveries, h](const Packet& pkt, sim::SimTime) {
+          EXPECT_EQ(pkt.flow.dst_host, h)
+              << "packet for host " << pkt.flow.dst_host
+              << " delivered to host " << h;
+          ++delivered_to[h];
+          ++deliveries;
+        };
+  }
+
+  // Inject raw packets at source ToRs for random pairs (below any
+  // congestion, so nothing drops).
+  sim::Rng rng{99};
+  std::uint64_t injected = 0;
+  sim.schedule_at(sim::SimTime::from_us(1), [&] {
+    for (int i = 0; i < 300; ++i) {
+      Packet pkt;
+      pkt.id = static_cast<std::uint64_t>(i) + 1;
+      pkt.flow.src_host =
+          static_cast<HostId>(rng.uniform_int(spec.total_hosts()));
+      do {
+        pkt.flow.dst_host =
+            static_cast<HostId>(rng.uniform_int(spec.total_hosts()));
+      } while (pkt.flow.dst_host == pkt.flow.src_host);
+      pkt.flow.src_port = static_cast<std::uint16_t>(i);
+      pkt.flow.dst_port = 80;
+      pkt.payload = 100;
+      net.switches[spec.tor_of_host(pkt.flow.src_host)]->handle_packet(pkt);
+      ++injected;
+    }
+  });
+  sim.run();
+  EXPECT_EQ(deliveries, injected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClosShapeProperty,
+    ::testing::Values(Shape{2, 2, 2, 4, 2},     // the paper's unit
+                      Shape{2, 1, 1, 2, 1},     // degenerate minimum
+                      Shape{3, 2, 3, 2, 2},     // asymmetric agg layer
+                      Shape{4, 4, 2, 2, 4},     // wide ToR layer
+                      Shape{8, 2, 2, 4, 2},     // many clusters
+                      Shape{1, 4, 4, 4, 0},     // leaf-spine
+                      Shape{1, 8, 3, 2, 0},     // narrow spine
+                      Shape{2, 3, 2, 5, 3}),    // odd sizes everywhere
+    [](const ::testing::TestParamInfo<Shape>& info) {
+      const auto& s = info.param;
+      return "c" + std::to_string(s.clusters) + "t" + std::to_string(s.tors) +
+             "a" + std::to_string(s.aggs) + "h" +
+             std::to_string(s.hosts_per_tor) + "k" + std::to_string(s.cores);
+    });
+
+}  // namespace
+}  // namespace esim::net

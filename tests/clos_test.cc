@@ -1,0 +1,177 @@
+#include "net/clos.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/ecmp.h"
+
+namespace esim::net {
+namespace {
+
+ClosSpec paper_spec() {
+  // The paper's Figure 5 unit: clusters of 4 switches (2 ToR + 2 Agg) and
+  // 8 servers.
+  ClosSpec s;
+  s.clusters = 4;
+  s.tors_per_cluster = 2;
+  s.aggs_per_cluster = 2;
+  s.hosts_per_tor = 4;
+  s.cores = 2;
+  return s;
+}
+
+TEST(ClosSpec, Sizes) {
+  const auto s = paper_spec();
+  EXPECT_EQ(s.hosts_per_cluster(), 8u);
+  EXPECT_EQ(s.total_hosts(), 32u);
+  EXPECT_EQ(s.total_tors(), 8u);
+  EXPECT_EQ(s.total_aggs(), 8u);
+  EXPECT_EQ(s.total_switches(), 18u);
+}
+
+TEST(ClosSpec, HostMapping) {
+  const auto s = paper_spec();
+  EXPECT_EQ(s.cluster_of_host(0), 0u);
+  EXPECT_EQ(s.cluster_of_host(7), 0u);
+  EXPECT_EQ(s.cluster_of_host(8), 1u);
+  EXPECT_EQ(s.cluster_of_host(31), 3u);
+  EXPECT_EQ(s.tor_index_of_host(0), 0u);
+  EXPECT_EQ(s.tor_index_of_host(3), 0u);
+  EXPECT_EQ(s.tor_index_of_host(4), 1u);
+  EXPECT_EQ(s.tor_of_host(12), s.tor_id(1, 1));
+  EXPECT_EQ(s.first_host_of_tor(1, 1), 12u);
+}
+
+TEST(ClosSpec, SwitchIdsAreDenseAndDisjoint) {
+  const auto s = paper_spec();
+  std::set<SwitchId> ids;
+  for (std::uint32_t c = 0; c < s.clusters; ++c) {
+    for (std::uint32_t t = 0; t < s.tors_per_cluster; ++t) {
+      ids.insert(s.tor_id(c, t));
+      EXPECT_TRUE(s.is_tor(s.tor_id(c, t)));
+      EXPECT_EQ(s.cluster_of_switch(s.tor_id(c, t)), c);
+    }
+    for (std::uint32_t a = 0; a < s.aggs_per_cluster; ++a) {
+      ids.insert(s.agg_id(c, a));
+      EXPECT_TRUE(s.is_agg(s.agg_id(c, a)));
+      EXPECT_EQ(s.cluster_of_switch(s.agg_id(c, a)), c);
+    }
+  }
+  for (std::uint32_t k = 0; k < s.cores; ++k) {
+    ids.insert(s.core_id(k));
+    EXPECT_TRUE(s.is_core(s.core_id(k)));
+  }
+  EXPECT_EQ(ids.size(), s.total_switches());
+  EXPECT_EQ(*ids.rbegin(), s.total_switches() - 1);
+}
+
+TEST(ClosSpec, CoreHasNoCluster) {
+  const auto s = paper_spec();
+  EXPECT_THROW(s.cluster_of_switch(s.core_id(0)), std::invalid_argument);
+}
+
+TEST(ClosSpec, ValidationCatchesInconsistency) {
+  ClosSpec s = paper_spec();
+  s.validate();
+  s.cores = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+  s = paper_spec();
+  s.clusters = 1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);  // cores must be 0
+  s.cores = 0;
+  s.validate();  // leaf-spine
+  s.tors_per_cluster = 0;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(ClosSpec, Names) {
+  const auto s = paper_spec();
+  EXPECT_EQ(s.tor_name(0, 1), "c0.tor1");
+  EXPECT_EQ(s.agg_name(2, 0), "c2.agg0");
+  EXPECT_EQ(s.core_name(1), "core1");
+  EXPECT_EQ(s.host_name(9), "c1.h9");
+}
+
+TEST(ClosPath, SameTorIsOneHop) {
+  const auto s = paper_spec();
+  FlowKey k{0, 1, 100, 80};
+  const auto p = compute_path(s, k);
+  EXPECT_EQ(p.len, 1u);
+  EXPECT_EQ(p.hops[0], s.tor_id(0, 0));
+}
+
+TEST(ClosPath, IntraClusterIsThreeHops) {
+  const auto s = paper_spec();
+  FlowKey k{0, 4, 100, 80};  // tor0 -> tor1, same cluster
+  const auto p = compute_path(s, k);
+  ASSERT_EQ(p.len, 3u);
+  EXPECT_EQ(p.hops[0], s.tor_id(0, 0));
+  EXPECT_TRUE(s.is_agg(p.hops[1]));
+  EXPECT_EQ(s.cluster_of_switch(p.hops[1]), 0u);
+  EXPECT_EQ(p.hops[2], s.tor_id(0, 1));
+}
+
+TEST(ClosPath, InterClusterIsFiveHops) {
+  const auto s = paper_spec();
+  FlowKey k{0, 30, 100, 80};  // cluster 0 -> cluster 3
+  const auto p = compute_path(s, k);
+  ASSERT_EQ(p.len, 5u);
+  EXPECT_EQ(p.hops[0], s.tor_of_host(0));
+  EXPECT_TRUE(s.is_agg(p.hops[1]));
+  EXPECT_EQ(s.cluster_of_switch(p.hops[1]), 0u);
+  EXPECT_TRUE(s.is_core(p.hops[2]));
+  EXPECT_TRUE(s.is_agg(p.hops[3]));
+  EXPECT_EQ(s.cluster_of_switch(p.hops[3]), 3u);
+  EXPECT_EQ(p.hops[4], s.tor_of_host(30));
+}
+
+TEST(ClosPath, MatchesEcmpReplay) {
+  const auto s = paper_spec();
+  FlowKey k{2, 27, 5555, 80};
+  const auto p = compute_path(s, k);
+  ASSERT_EQ(p.len, 5u);
+  const auto up_agg = ecmp_index(k, p.hops[0], s.aggs_per_cluster);
+  EXPECT_EQ(p.hops[1], s.agg_id(0, up_agg));
+  const auto core = ecmp_index(k, p.hops[1], s.cores);
+  EXPECT_EQ(p.hops[2], s.core_id(core));
+}
+
+TEST(ClosPath, DistinctFlowsUseMultiplePaths) {
+  const auto s = paper_spec();
+  std::set<SwitchId> aggs, cores;
+  for (std::uint16_t port = 0; port < 200; ++port) {
+    FlowKey k{0, 30, port, 80};
+    const auto p = compute_path(s, k);
+    aggs.insert(p.hops[1]);
+    cores.insert(p.hops[2]);
+  }
+  EXPECT_EQ(aggs.size(), s.aggs_per_cluster);
+  EXPECT_EQ(cores.size(), s.cores);
+}
+
+TEST(ClosPath, RejectsBadFlows) {
+  const auto s = paper_spec();
+  EXPECT_THROW(compute_path(s, FlowKey{0, 0, 1, 2}), std::invalid_argument);
+  EXPECT_THROW(compute_path(s, FlowKey{0, 999, 1, 2}),
+               std::invalid_argument);
+}
+
+TEST(ClosPath, LeafSpineIntraCluster) {
+  ClosSpec s;
+  s.clusters = 1;
+  s.tors_per_cluster = 8;
+  s.aggs_per_cluster = 8;
+  s.hosts_per_tor = 4;
+  s.cores = 0;
+  s.validate();
+  FlowKey k{0, 31, 42, 80};
+  const auto p = compute_path(s, k);
+  ASSERT_EQ(p.len, 3u);
+  EXPECT_EQ(p.hops[0], s.tor_id(0, 0));
+  EXPECT_TRUE(s.is_agg(p.hops[1]));
+  EXPECT_EQ(p.hops[2], s.tor_id(0, 7));
+}
+
+}  // namespace
+}  // namespace esim::net

@@ -1,0 +1,161 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace esim::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::from_ns(30), [&] { order.push_back(3); });
+  q.schedule(SimTime::from_ns(10), [&] { order.push_back(1); });
+  q.schedule(SimTime::from_ns(20), [&] { order.push_back(2); });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesBreakInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_us(5);
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(t, [&order, i] { order.push_back(i); });
+  }
+  while (auto e = q.pop()) e->fn();
+  std::vector<int> expect(10);
+  for (int i = 0; i < 10; ++i) expect[i] = i;
+  EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, NextTimeTracksEarliest) {
+  EventQueue q;
+  q.schedule(SimTime::from_ns(50), [] {});
+  q.schedule(SimTime::from_ns(20), [] {});
+  EXPECT_EQ(q.next_time(), SimTime::from_ns(20));
+  (void)q.pop();
+  EXPECT_EQ(q.next_time(), SimTime::from_ns(50));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  auto h = q.schedule(SimTime::from_ns(10), [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  auto h = q.schedule(SimTime::from_ns(10), [] {});
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelExecutedFails) {
+  EventQueue q;
+  auto h = q.schedule(SimTime::from_ns(10), [] {});
+  ASSERT_TRUE(q.pop().has_value());
+  EXPECT_FALSE(q.cancel(h));
+}
+
+TEST(EventQueue, CancelInvalidHandleFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventHandle{}));
+  EXPECT_FALSE(q.cancel(EventHandle{123456}));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::from_ns(10), [&] { order.push_back(1); });
+  auto h = q.schedule(SimTime::from_ns(20), [&] { order.push_back(2); });
+  q.schedule(SimTime::from_ns(30), [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(h));
+  EXPECT_EQ(q.size(), 2u);
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeCountsLiveOnly) {
+  EventQueue q;
+  auto h1 = q.schedule(SimTime::from_ns(1), [] {});
+  q.schedule(SimTime::from_ns(2), [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(h1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, ClearEmpties) {
+  EventQueue q;
+  for (int i = 0; i < 5; ++i) q.schedule(SimTime::from_ns(i), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(EventQueue, TotalScheduledCountsEverything) {
+  EventQueue q;
+  auto h = q.schedule(SimTime::from_ns(1), [] {});
+  q.schedule(SimTime::from_ns(2), [] {});
+  q.cancel(h);
+  EXPECT_EQ(q.total_scheduled(), 2u);
+}
+
+// Property test: against a sorted reference, random schedule/cancel
+// sequences must pop in exact (time, seq) order.
+TEST(EventQueue, RandomizedAgainstReference) {
+  Rng rng{2024};
+  for (int trial = 0; trial < 20; ++trial) {
+    EventQueue q;
+    struct Ref {
+      std::int64_t t;
+      std::uint64_t seq;
+    };
+    std::vector<Ref> ref;
+    std::vector<EventHandle> handles;
+    std::vector<std::pair<std::int64_t, std::uint64_t>> popped;
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 500; ++i) {
+      const auto t = static_cast<std::int64_t>(rng.uniform_int(1000));
+      const std::uint64_t s = seq++;
+      auto h = q.schedule(SimTime::from_ns(t), [&popped, t, s] {
+        popped.emplace_back(t, s);
+      });
+      handles.push_back(h);
+      ref.push_back({t, s});
+      // Randomly cancel an earlier event.
+      if (rng.bernoulli(0.2) && !handles.empty()) {
+        const auto idx = rng.uniform_int(handles.size());
+        if (q.cancel(handles[idx])) {
+          // Mark as cancelled in the reference.
+          ref[idx].t = -1;
+        }
+      }
+    }
+    while (auto e = q.pop()) e->fn();
+    std::vector<std::pair<std::int64_t, std::uint64_t>> expect;
+    for (const auto& r : ref) {
+      if (r.t >= 0) expect.emplace_back(r.t, r.seq);
+    }
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(popped, expect) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace esim::sim

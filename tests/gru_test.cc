@@ -1,0 +1,241 @@
+#include "ml/gru.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "approx/micro_model.h"
+#include "approx/trainer.h"
+#include "ml/linear.h"
+#include "ml/loss.h"
+#include "ml/optimizer.h"
+#include "ml/sequence_model.h"
+#include "sim/random.h"
+
+namespace esim::ml {
+namespace {
+
+using esim::sim::Rng;
+
+double numeric_grad(Tensor& t, std::size_t r, std::size_t c,
+                    const std::function<double()>& loss, double eps = 1e-5) {
+  const double orig = t.at(r, c);
+  t.at(r, c) = orig + eps;
+  const double up = loss();
+  t.at(r, c) = orig - eps;
+  const double down = loss();
+  t.at(r, c) = orig;
+  return (up - down) / (2 * eps);
+}
+
+void expect_grad_matches(Tensor& value, const Tensor& analytic,
+                         const std::function<double()>& loss,
+                         const std::string& label) {
+  ASSERT_EQ(value.rows(), analytic.rows()) << label;
+  ASSERT_EQ(value.cols(), analytic.cols()) << label;
+  for (std::size_t r = 0; r < value.rows(); ++r) {
+    for (std::size_t c = 0; c < value.cols(); ++c) {
+      const double num = numeric_grad(value, r, c, loss);
+      const double ana = analytic.at(r, c);
+      const double tol =
+          1e-6 + 1e-4 * std::max(std::abs(num), std::abs(ana));
+      EXPECT_NEAR(ana, num, tol) << label << "[" << r << "," << c << "]";
+    }
+  }
+}
+
+TEST(Gru, ShapesAndStateEvolution) {
+  Rng rng{1};
+  Gru gru{3, 5, 2, rng};
+  auto state = gru.initial_state(2);
+  Tensor x{2, 3};
+  x.fill_normal(rng, 1.0);
+  const Tensor h1 = gru.step(x, state);
+  EXPECT_EQ(h1.rows(), 2u);
+  EXPECT_EQ(h1.cols(), 5u);
+  const Tensor h2 = gru.step(x, state);
+  double diff = 0;
+  for (std::size_t j = 0; j < 5; ++j) {
+    diff += std::abs(h1.at(0, j) - h2.at(0, j));
+  }
+  EXPECT_GT(diff, 1e-9);
+  EXPECT_THROW((Gru{3, 5, 0, rng}), std::invalid_argument);
+}
+
+TEST(Gru, StreamingMatchesSequenceForward) {
+  Rng rng{2};
+  Gru gru{3, 4, 2, rng};
+  std::vector<Tensor> xs;
+  for (int t = 0; t < 6; ++t) {
+    Tensor x{2, 3};
+    x.fill_normal(rng, 1.0);
+    xs.push_back(x);
+  }
+  auto s1 = gru.initial_state(2);
+  Gru::SequenceCache cache;
+  const auto hs = gru.forward(xs, s1, cache);
+  auto s2 = gru.initial_state(2);
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    const Tensor h = gru.step(xs[t], s2);
+    for (std::size_t r = 0; r < 2; ++r) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_NEAR(h.at(r, j), hs[t].at(r, j), 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Gru, GradientCheckThroughTime) {
+  Rng rng{3};
+  Gru gru{2, 3, 2, rng};
+  const std::size_t B = 2, T = 4;
+  std::vector<Tensor> xs, targets;
+  for (std::size_t t = 0; t < T; ++t) {
+    Tensor x{B, 2}, y{B, 3};
+    x.fill_normal(rng, 1.0);
+    y.fill_normal(rng, 1.0);
+    xs.push_back(x);
+    targets.push_back(y);
+  }
+  Tensor ones{B, 3};
+  ones.map([](double) { return 1.0; });
+
+  auto loss_fn = [&] {
+    auto state = gru.initial_state(B);
+    Gru::SequenceCache cache;
+    const auto hs = gru.forward(xs, state, cache);
+    double total = 0;
+    for (std::size_t t = 0; t < T; ++t) {
+      total += masked_mse(hs[t], targets[t], ones, nullptr);
+    }
+    return total;
+  };
+
+  gru.zero_grad();
+  auto state = gru.initial_state(B);
+  Gru::SequenceCache cache;
+  const auto hs = gru.forward(xs, state, cache);
+  std::vector<Tensor> dhs;
+  for (std::size_t t = 0; t < T; ++t) {
+    Tensor d;
+    masked_mse(hs[t], targets[t], ones, &d);
+    dhs.push_back(std::move(d));
+  }
+  gru.backward(cache, dhs);
+
+  for (auto& p : gru.parameters()) {
+    expect_grad_matches(*p.value, *p.grad, loss_fn, p.name);
+  }
+}
+
+TEST(Gru, LearnsToEchoPreviousInput) {
+  Rng rng{4};
+  Gru gru{1, 8, 1, rng};
+  Linear head{8, 1, rng};
+  std::vector<Parameter> params = gru.parameters();
+  for (auto& p : head.parameters()) params.push_back(p);
+  SgdMomentum::Config ocfg;
+  ocfg.learning_rate = 0.05;
+  SgdMomentum opt{params, ocfg};
+
+  const std::size_t B = 8, T = 6;
+  Tensor ones{B, 1};
+  ones.map([](double) { return 1.0; });
+  double first_loss = 0, last_loss = 0;
+  for (int iter = 0; iter < 300; ++iter) {
+    std::vector<Tensor> xs;
+    for (std::size_t t = 0; t < T; ++t) {
+      Tensor x{B, 1};
+      x.fill_normal(rng, 1.0);
+      xs.push_back(x);
+    }
+    auto state = gru.initial_state(B);
+    Gru::SequenceCache cache;
+    const auto hs = gru.forward(xs, state, cache);
+    double loss = 0;
+    std::vector<Tensor> dhs(T);
+    for (std::size_t t = 0; t < T; ++t) {
+      const Tensor y = head.forward(hs[t]);
+      if (t == 0) {
+        dhs[t] = Tensor{B, 8};
+        continue;
+      }
+      Tensor dy;
+      loss += masked_mse(y, xs[t - 1], ones, &dy);
+      dhs[t] = head.backward(hs[t], dy);
+    }
+    gru.backward(cache, dhs);
+    opt.step();
+    opt.zero_grad();
+    if (iter == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.2);
+}
+
+TEST(SequenceModelFactory, BuildsBothKinds) {
+  Rng rng{5};
+  for (const auto kind : {TrunkKind::Lstm, TrunkKind::Gru}) {
+    auto model = make_sequence_model(kind, 4, 6, 2, rng);
+    ASSERT_NE(model, nullptr);
+    EXPECT_EQ(model->hidden_size(), 6u);
+    auto state = model->make_state(3);
+    Tensor x{3, 4};
+    x.fill_normal(rng, 1.0);
+    const Tensor h = model->step(x, *state);
+    EXPECT_EQ(h.rows(), 3u);
+    EXPECT_EQ(h.cols(), 6u);
+    // Clone is independent: training the clone leaves the original
+    // parameters untouched.
+    auto copy = model->clone();
+    auto p0 = model->parameters();
+    auto p1 = copy->parameters();
+    ASSERT_EQ(p0.size(), p1.size());
+    p1[0].value->at(0, 0) += 1.0;
+    EXPECT_NE(p0[0].value->at(0, 0), p1[0].value->at(0, 0));
+  }
+  EXPECT_STREQ(trunk_kind_name(TrunkKind::Lstm), "lstm");
+  EXPECT_STREQ(trunk_kind_name(TrunkKind::Gru), "gru");
+}
+
+TEST(SequenceModelFactory, RejectsForeignState) {
+  Rng rng{6};
+  auto lstm = make_sequence_model(TrunkKind::Lstm, 2, 3, 1, rng);
+  auto gru = make_sequence_model(TrunkKind::Gru, 2, 3, 1, rng);
+  auto gru_state = gru->make_state(1);
+  Tensor x{1, 2};
+  EXPECT_THROW(lstm->step(x, *gru_state), std::invalid_argument);
+}
+
+TEST(MicroModelGru, TrainsOnSyntheticData) {
+  // The GRU trunk plugs into the existing trainer unchanged.
+  Rng rng{7};
+  approx::Dataset ds;
+  for (int i = 0; i < 2000; ++i) {
+    approx::PacketFeatures f;
+    f.v[0] = rng.uniform();
+    const bool drop = f.v[0] > 0.75;
+    ds.features.push_back(f);
+    ds.drop_targets.push_back(drop ? 1.0 : 0.0);
+    ds.latency_log_us.push_back(drop ? 0.0 : 2.0);
+  }
+  ds.mean_log_us = 2.0;
+  ds.std_log_us = 1.0;
+
+  approx::MicroModel::Config cfg;
+  cfg.hidden = 10;
+  cfg.layers = 1;
+  cfg.trunk = TrunkKind::Gru;
+  approx::MicroModel model{cfg};
+  approx::TrainConfig tcfg;
+  tcfg.batch_size = 32;
+  tcfg.seq_len = 8;
+  tcfg.batches = 400;
+  tcfg.learning_rate = 3e-2;
+  const auto report = approx::train_micro_model(model, ds, tcfg);
+  EXPECT_LT(report.final_loss, report.initial_loss);
+  EXPECT_GT(report.drop_accuracy, 0.9);
+}
+
+}  // namespace
+}  // namespace esim::ml

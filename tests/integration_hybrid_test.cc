@@ -1,0 +1,244 @@
+// Integration tests for the hybrid (approximate) simulator: mechanics with
+// hand-tuned models, and the full train-then-replace pipeline.
+#include <gtest/gtest.h>
+
+#include "core/conflict.h"
+#include "core/experiment.h"
+#include "core/hybrid_builder.h"
+#include "stats/distance.h"
+
+namespace esim::core {
+namespace {
+
+using approx::MicroModel;
+using sim::SimTime;
+using sim::Simulator;
+
+TEST(DeliverySerializer, GrantsDesiredWhenFree) {
+  DeliverySerializer s{10e9};
+  const auto t = s.reserve(SimTime::from_us(10), 1250);
+  EXPECT_EQ(t, SimTime::from_us(10));
+  // 1250 B at 10 Gbps = 1 us busy.
+  EXPECT_EQ(s.next_free(), SimTime::from_us(11));
+}
+
+TEST(DeliverySerializer, PushesConflictsToNextSlot) {
+  DeliverySerializer s{10e9};
+  const auto a = s.reserve(SimTime::from_us(10), 1250);
+  const auto b = s.reserve(SimTime::from_us(10), 1250);  // same instant
+  EXPECT_EQ(a, SimTime::from_us(10));
+  EXPECT_EQ(b, SimTime::from_us(11));  // first processed wins (paper §4.2)
+  const auto c = s.reserve(SimTime::from_us(100), 1250);
+  EXPECT_EQ(c, SimTime::from_us(100));  // gap: no shift
+}
+
+TEST(DeliverySerializer, ResetClears) {
+  DeliverySerializer s{10e9};
+  s.reserve(SimTime::from_us(10), 12500);
+  s.reset();
+  EXPECT_EQ(s.reserve(SimTime::from_us(1), 125), SimTime::from_us(1));
+  EXPECT_THROW(DeliverySerializer{0.0}, std::invalid_argument);
+}
+
+net::ClosSpec spec_with_clusters(std::uint32_t clusters) {
+  net::ClosSpec s;
+  s.clusters = clusters;
+  s.tors_per_cluster = 2;
+  s.aggs_per_cluster = 2;
+  s.hosts_per_tor = 4;
+  s.cores = 2;
+  return s;
+}
+
+/// A model rigged to never drop and always predict ~`latency_us`.
+MicroModel make_benign_model(double latency_us) {
+  MicroModel::Config cfg;
+  cfg.hidden = 4;
+  cfg.layers = 1;
+  MicroModel m{cfg};
+  m.drop_head().weight().zero();
+  m.drop_head().bias().at(0, 0) = -20.0;  // p(drop) ~ 0
+  m.latency_head().weight().zero();
+  m.latency_head().bias().at(0, 0) = 0.0;
+  m.set_latency_normalization(std::log(latency_us), 1.0);
+  return m;
+}
+
+TEST(HybridBuilder, WiresComponents) {
+  Simulator sim{1};
+  HybridConfig cfg;
+  cfg.net.spec = spec_with_clusters(4);
+  const auto ingress = make_benign_model(8.0);
+  const auto egress = make_benign_model(8.0);
+  const auto net = build_hybrid_network(sim, cfg, ingress, egress);
+  EXPECT_EQ(net.hosts.size(), 32u);
+  // Full cluster switches + cores exist; approximated ones do not.
+  EXPECT_NE(net.switches[net.spec.tor_id(0, 0)], nullptr);
+  EXPECT_EQ(net.switches[net.spec.tor_id(1, 0)], nullptr);
+  EXPECT_NE(net.switches[net.spec.core_id(0)], nullptr);
+  EXPECT_EQ(net.clusters[0], nullptr);
+  for (std::uint32_t c = 1; c < 4; ++c) {
+    ASSERT_NE(net.clusters[c], nullptr);
+  }
+  // Every host has an uplink (full hosts to ToRs, others to the models).
+  for (auto* link : net.host_uplinks) EXPECT_NE(link, nullptr);
+  EXPECT_TRUE(net.is_full_fidelity(0));
+  EXPECT_FALSE(net.is_full_fidelity(9));
+}
+
+TEST(HybridBuilder, RejectsBadConfig) {
+  Simulator sim{1};
+  HybridConfig cfg;
+  cfg.net.spec = spec_with_clusters(2);
+  cfg.full_cluster = 5;
+  const auto m = make_benign_model(8.0);
+  EXPECT_THROW(build_hybrid_network(sim, cfg, m, m), std::invalid_argument);
+}
+
+TEST(HybridNetwork, FlowFullToApproxCompletes) {
+  Simulator sim{2};
+  HybridConfig cfg;
+  cfg.net.spec = spec_with_clusters(2);
+  const auto ingress = make_benign_model(8.0);
+  const auto egress = make_benign_model(8.0);
+  auto net = build_hybrid_network(sim, cfg, ingress, egress);
+  bool complete = false;
+  sim.schedule_at(SimTime::from_us(10), [&] {
+    auto* c = net.hosts[0]->open_flow(12, 50'000, 1);  // into approx cluster
+    c->on_complete = [&] { complete = true; };
+  });
+  sim.run_until(SimTime::from_ms(100));
+  EXPECT_TRUE(complete);
+  EXPECT_GT(net.clusters[1]->stats().ingress_packets, 20u);
+  EXPECT_GT(net.clusters[1]->stats().egress_packets, 20u);  // ACKs back
+}
+
+TEST(HybridNetwork, FlowApproxToFullCompletes) {
+  Simulator sim{3};
+  HybridConfig cfg;
+  cfg.net.spec = spec_with_clusters(2);
+  const auto ingress = make_benign_model(8.0);
+  const auto egress = make_benign_model(8.0);
+  auto net = build_hybrid_network(sim, cfg, ingress, egress);
+  bool complete = false;
+  std::uint64_t received = 0;
+  net.hosts[3]->on_accept = [&](tcp::TcpConnection& c) {
+    c.on_data = [&](std::uint64_t d) { received += d; };
+  };
+  sim.schedule_at(SimTime::from_us(10), [&] {
+    auto* c = net.hosts[10]->open_flow(3, 30'000, 1);
+    c->on_complete = [&] { complete = true; };
+  });
+  sim.run_until(SimTime::from_ms(100));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(received, 30'000u);
+}
+
+TEST(HybridNetwork, RttReflectsModelLatency) {
+  // With a rigged 50us fabric model, the RTT through the approximated
+  // cluster must be roughly 2*50us + wire/serialization overheads.
+  Simulator sim{4};
+  HybridConfig cfg;
+  cfg.net.spec = spec_with_clusters(2);
+  const auto ingress = make_benign_model(50.0);
+  const auto egress = make_benign_model(50.0);
+  auto net = build_hybrid_network(sim, cfg, ingress, egress);
+  stats::LatencyCollector rtt;
+  net.hosts[0]->set_rtt_collector(&rtt);
+  sim.schedule_at(SimTime::from_us(10),
+                  [&] { net.hosts[0]->open_flow(12, 20'000, 1); });
+  sim.run_until(SimTime::from_ms(100));
+  ASSERT_GT(rtt.summary().count(), 5u);
+  EXPECT_GT(rtt.summary().min(), 100e-6);   // 2 model traversals
+  EXPECT_LT(rtt.summary().min(), 200e-6);   // plus bounded overheads
+}
+
+TEST(HybridNetwork, DroppyModelForcesRetransmissions) {
+  Simulator sim{5};
+  HybridConfig cfg;
+  cfg.net.spec = spec_with_clusters(2);
+  const auto ingress = [&] {
+    MicroModel m = make_benign_model(8.0);
+    m.drop_head().bias().at(0, 0) = -2.0;  // ~12% drop probability
+    return m;
+  }();
+  const auto egress = make_benign_model(8.0);
+  auto net = build_hybrid_network(sim, cfg, ingress, egress);
+  tcp::TcpConnection* conn = nullptr;
+  bool complete = false;
+  sim.schedule_at(SimTime::from_us(10), [&] {
+    conn = net.hosts[0]->open_flow(12, 100'000, 1);
+    conn->on_complete = [&] { complete = true; };
+  });
+  sim.run_until(SimTime::from_sec(5));
+  EXPECT_TRUE(complete);  // TCP rides through model-predicted drops
+  ASSERT_NE(conn, nullptr);
+  EXPECT_GT(conn->stats().retransmissions, 0u);
+  EXPECT_GT(net.clusters[1]->stats().predicted_drops, 0u);
+}
+
+TEST(HybridNetwork, ElisionFilterKeepsApproxOnlyTrafficOut) {
+  // With 4 clusters, flows between approximated clusters are elided; the
+  // ApproxClusters then only ever see traffic touching cluster 0.
+  ExperimentConfig cfg;
+  cfg.net.spec = spec_with_clusters(4);
+  cfg.duration = SimTime::from_ms(10);
+  cfg.load = 0.2;
+  TrainedModels models;
+  models.ingress =
+      std::make_unique<MicroModel>(make_benign_model(8.0));
+  models.egress = std::make_unique<MicroModel>(make_benign_model(8.0));
+  const auto result = run_hybrid_simulation(cfg, cfg.net.spec, models);
+  EXPECT_GT(result.flows_launched, 0u);
+  EXPECT_GT(result.flows_completed, 0u);
+  // intra_packets counts approx-intra deliveries; elision keeps it at 0.
+  EXPECT_EQ(result.approx_stats.intra_packets, 0u);
+}
+
+TEST(Pipeline, TrainThenApproximateEndToEnd) {
+  // The complete paper workflow at miniature scale. Checks that the
+  // trained hybrid produces (a) completing flows, (b) an RTT CDF in the
+  // groundtruth's ballpark (Figure 4's qualitative claim), and (c) fewer
+  // events than the full simulation (the mechanism behind Figure 5).
+  ExperimentConfig cfg;
+  cfg.net.spec = spec_with_clusters(2);
+  cfg.duration = SimTime::from_ms(15);
+  cfg.train_duration = SimTime::from_ms(15);
+  cfg.load = 0.25;
+  cfg.model.hidden = 8;
+  cfg.model.layers = 1;
+  cfg.train.batches = 60;
+  cfg.train.batch_size = 16;
+  cfg.train.seq_len = 16;
+  cfg.train.learning_rate = 5e-3;
+
+  const auto models = train_cluster_models(cfg);
+  EXPECT_GT(models.boundary_records, 100u);
+  EXPECT_LT(models.ingress_report.final_loss,
+            models.ingress_report.initial_loss);
+  EXPECT_LT(models.egress_report.final_loss,
+            models.egress_report.initial_loss);
+
+  const auto full = run_full_simulation(cfg, cfg.net.spec);
+  const auto hybrid = run_hybrid_simulation(cfg, cfg.net.spec, models);
+
+  EXPECT_GT(full.flows_completed, 10u);
+  EXPECT_GT(hybrid.flows_completed, 10u);
+  ASSERT_GT(full.rtt_cdf.size(), 50u);
+  ASSERT_GT(hybrid.rtt_cdf.size(), 50u);
+
+  // Distributional agreement: medians within an order of magnitude and a
+  // bounded KS distance (the paper's own prototype "consistently
+  // underestimates congestion" — exactness is not the claim).
+  const double med_full = full.rtt_cdf.quantile(0.5);
+  const double med_hybrid = hybrid.rtt_cdf.quantile(0.5);
+  EXPECT_LT(med_hybrid, med_full * 10);
+  EXPECT_GT(med_hybrid, med_full / 10);
+  EXPECT_LT(stats::ks_distance(full.rtt_cdf, hybrid.rtt_cdf), 0.7);
+
+  // The approximate simulation does strictly less event work.
+  EXPECT_LT(hybrid.events_executed, full.events_executed);
+}
+
+}  // namespace
+}  // namespace esim::core

@@ -1,0 +1,279 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/ecmp.h"
+#include "net/link.h"
+#include "net/packet.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+
+namespace esim::net {
+namespace {
+
+using sim::SimTime;
+using sim::Simulator;
+
+/// Test sink that records arrivals with timestamps.
+class Sink : public PacketHandler {
+ public:
+  explicit Sink(Simulator& sim) : sim_{sim} {}
+  void handle_packet(Packet pkt) override {
+    arrivals.emplace_back(sim_.now(), std::move(pkt));
+  }
+  std::vector<std::pair<SimTime, Packet>> arrivals;
+
+ private:
+  Simulator& sim_;
+};
+
+Packet make_packet(std::uint64_t id, std::uint32_t payload, HostId src = 0,
+                   HostId dst = 1) {
+  Packet p;
+  p.id = id;
+  p.payload = payload;
+  p.flow.src_host = src;
+  p.flow.dst_host = dst;
+  p.flow.src_port = 1000;
+  p.flow.dst_port = 80;
+  return p;
+}
+
+TEST(PacketTest, SizeIncludesHeader) {
+  EXPECT_EQ(make_packet(1, 0).size_bytes(), kHeaderBytes);
+  EXPECT_EQ(make_packet(1, 1460).size_bytes(), kHeaderBytes + 1460u);
+}
+
+TEST(PacketTest, FlagsCompose) {
+  Packet p = make_packet(1, 0);
+  p.flags = TcpFlag::Syn | TcpFlag::Ack;
+  EXPECT_TRUE(p.has(TcpFlag::Syn));
+  EXPECT_TRUE(p.has(TcpFlag::Ack));
+  EXPECT_FALSE(p.has(TcpFlag::Fin));
+}
+
+TEST(PacketTest, FlowKeyReverse) {
+  FlowKey k{1, 2, 10, 80};
+  const FlowKey r = k.reversed();
+  EXPECT_EQ(r.src_host, 2u);
+  EXPECT_EQ(r.dst_host, 1u);
+  EXPECT_EQ(r.src_port, 80);
+  EXPECT_EQ(r.dst_port, 10);
+  EXPECT_EQ(r.reversed(), k);
+}
+
+TEST(PacketTest, ToStringMentionsFlags) {
+  Packet p = make_packet(7, 100);
+  p.flags = TcpFlag::Syn;
+  const auto s = p.to_string();
+  EXPECT_NE(s.find("S"), std::string::npos);
+  EXPECT_NE(s.find("len=100"), std::string::npos);
+}
+
+TEST(LinkTest, DeliversWithSerializationAndPropagation) {
+  Simulator sim;
+  Sink sink{sim};
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e9;  // 1 Gbps: 1500B = 12us
+  cfg.propagation = SimTime::from_us(5);
+  auto* link = sim.add_component<Link>("l", cfg, &sink);
+
+  sim.schedule_at(SimTime::from_us(1), [&] { link->send(make_packet(1, 1442)); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  // 1500 bytes at 1 Gbps = 12 us tx + 5 us prop, sent at 1 us.
+  EXPECT_EQ(sink.arrivals[0].first, SimTime::from_us(18));
+  EXPECT_EQ(link->counter().delivered, 1u);
+}
+
+TEST(LinkTest, SerializesBackToBack) {
+  Simulator sim;
+  Sink sink{sim};
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation = SimTime::from_us(1);
+  auto* link = sim.add_component<Link>("l", cfg, &sink);
+  sim.schedule_at(SimTime::from_us(0), [&] {
+    link->send(make_packet(1, 1442));  // 1500B -> 12us
+    link->send(make_packet(2, 1442));
+  });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 2u);
+  EXPECT_EQ(sink.arrivals[0].first, SimTime::from_us(13));
+  EXPECT_EQ(sink.arrivals[1].first, SimTime::from_us(25));  // queued behind
+}
+
+TEST(LinkTest, DropsWhenQueueFull) {
+  Simulator sim;
+  Sink sink{sim};
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e6;               // slow, so queue builds
+  cfg.queue_capacity_bytes = 3000;       // fits 2 full packets
+  auto* link = sim.add_component<Link>("l", cfg, &sink);
+  int drops = 0;
+  link->on_drop = [&](const Packet&) { ++drops; };
+  sim.schedule_at(SimTime::from_us(1), [&] {
+    for (int i = 0; i < 5; ++i) link->send(make_packet(i, 1442));
+  });
+  sim.run();
+  // First packet starts serializing immediately (leaves the queue); two
+  // more fit in 3000 bytes; the rest drop.
+  EXPECT_EQ(sink.arrivals.size(), 3u);
+  EXPECT_EQ(drops, 2);
+  EXPECT_EQ(link->counter().dropped, 2u);
+  EXPECT_EQ(link->counter().sent, 5u);
+}
+
+TEST(LinkTest, OnTransmitObserverSeesDepartures) {
+  Simulator sim;
+  Sink sink{sim};
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e9;
+  cfg.propagation = SimTime::from_us(3);
+  auto* link = sim.add_component<Link>("l", cfg, &sink);
+  std::vector<std::pair<std::uint64_t, SimTime>> seen;
+  link->on_transmit = [&](const Packet& p, SimTime arrive_at) {
+    seen.emplace_back(p.id, arrive_at);
+  };
+  sim.schedule_at(SimTime{}, [&] { link->send(make_packet(9, 1442)); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0].first, 9u);
+  EXPECT_EQ(seen[0].second, SimTime::from_us(15));
+}
+
+TEST(LinkTest, TxTimeScalesWithBytes) {
+  Simulator sim;
+  Sink sink{sim};
+  Link::Config cfg;
+  cfg.bandwidth_bps = 10e9;
+  auto* link = sim.add_component<Link>("l", cfg, &sink);
+  EXPECT_EQ(link->tx_time(1250).ns(), 1000);  // 10kb at 10Gbps = 1us
+  EXPECT_EQ(link->tx_time(125).ns(), 100);
+}
+
+TEST(LinkTest, RejectsBadConfig) {
+  Simulator sim;
+  Sink sink{sim};
+  Link::Config cfg;
+  cfg.bandwidth_bps = 0;
+  EXPECT_THROW(Link(sim, "l", cfg, &sink), std::invalid_argument);
+  Link::Config ok;
+  EXPECT_THROW(Link(sim, "l", ok, nullptr), std::invalid_argument);
+}
+
+TEST(EcmpTest, DeterministicAndInRange) {
+  FlowKey k{3, 9, 1234, 80};
+  for (std::uint32_t n : {1u, 2u, 4u, 7u}) {
+    const auto a = ecmp_index(k, 5, n);
+    EXPECT_LT(a, n);
+    EXPECT_EQ(a, ecmp_index(k, 5, n));
+  }
+}
+
+TEST(EcmpTest, SpreadsAcrossFlows) {
+  std::vector<int> counts(4, 0);
+  for (std::uint16_t port = 0; port < 2000; ++port) {
+    FlowKey k{1, 2, port, 80};
+    ++counts[ecmp_index(k, 7, 4)];
+  }
+  for (int c : counts) EXPECT_GT(c, 350);  // roughly uniform
+}
+
+TEST(EcmpTest, SaltChangesChoice) {
+  int differing = 0;
+  for (std::uint16_t port = 0; port < 256; ++port) {
+    FlowKey k{1, 2, port, 80};
+    if (ecmp_index(k, 1, 8) != ecmp_index(k, 2, 8)) ++differing;
+  }
+  EXPECT_GT(differing, 180);  // most flows pick differently per switch
+}
+
+TEST(SwitchTest, ForwardsByDestination) {
+  Simulator sim;
+  Sink sink_a{sim}, sink_b{sim};
+  auto* sw = sim.add_component<Switch>("sw", 0);
+  auto* la = sim.add_component<Link>("la", Link::Config{}, &sink_a);
+  auto* lb = sim.add_component<Link>("lb", Link::Config{}, &sink_b);
+  const auto pa = sw->add_port(la);
+  const auto pb = sw->add_port(lb);
+  sw->set_route(1, {pa});
+  sw->set_route(2, {pb});
+  sim.schedule_at(SimTime::from_us(1), [&] {
+    sw->handle_packet(make_packet(1, 100, 0, 1));
+    sw->handle_packet(make_packet(2, 100, 0, 2));
+    sw->handle_packet(make_packet(3, 100, 0, 2));
+  });
+  sim.run();
+  EXPECT_EQ(sink_a.arrivals.size(), 1u);
+  EXPECT_EQ(sink_b.arrivals.size(), 2u);
+  EXPECT_EQ(sw->counter().delivered, 3u);
+}
+
+TEST(SwitchTest, DropsWithoutRoute) {
+  Simulator sim;
+  auto* sw = sim.add_component<Switch>("sw", 0);
+  sim.schedule_at(SimTime::from_us(1),
+                  [&] { sw->handle_packet(make_packet(1, 100, 0, 42)); });
+  sim.run();
+  EXPECT_EQ(sw->counter().dropped, 1u);
+}
+
+TEST(SwitchTest, EcmpSplitsFlowsNotPackets) {
+  Simulator sim;
+  Sink sink_a{sim}, sink_b{sim};
+  auto* sw = sim.add_component<Switch>("sw", 3);
+  auto* la = sim.add_component<Link>("la", Link::Config{}, &sink_a);
+  auto* lb = sim.add_component<Link>("lb", Link::Config{}, &sink_b);
+  sw->set_route(9, {sw->add_port(la), sw->add_port(lb)});
+  sim.schedule_at(SimTime::from_us(1), [&] {
+    for (std::uint16_t port = 0; port < 64; ++port) {
+      // 4 packets per flow; all packets of one flow must take one port.
+      for (int i = 0; i < 4; ++i) {
+        Packet p = make_packet(port * 4 + i, 100, 0, 9);
+        p.flow.src_port = port;
+        sw->handle_packet(std::move(p));
+      }
+    }
+  });
+  sim.run();
+  EXPECT_EQ(sink_a.arrivals.size() + sink_b.arrivals.size(), 256u);
+  EXPECT_GT(sink_a.arrivals.size(), 64u);  // both used
+  EXPECT_GT(sink_b.arrivals.size(), 64u);
+  // per-flow stability
+  for (const auto& arr : {&sink_a, &sink_b}) {
+    for (const auto& [t, p] : arr->arrivals) {
+      const auto expected = ecmp_index(p.flow, 3, 2);
+      EXPECT_EQ(arr == &sink_a ? 0u : 1u, expected);
+    }
+  }
+}
+
+TEST(SwitchTest, ProcessingDelayDefersForwarding) {
+  Simulator sim;
+  Sink sink{sim};
+  auto* sw = sim.add_component<Switch>("sw", 0, SimTime::from_us(2));
+  Link::Config cfg;
+  cfg.bandwidth_bps = 1e12;  // negligible tx time
+  cfg.propagation = SimTime::from_ns(0);
+  auto* l = sim.add_component<Link>("l", cfg, &sink);
+  sw->set_route(1, {sw->add_port(l)});
+  sim.schedule_at(SimTime::from_us(1),
+                  [&] { sw->handle_packet(make_packet(1, 0, 0, 1)); });
+  sim.run();
+  ASSERT_EQ(sink.arrivals.size(), 1u);
+  EXPECT_GE(sink.arrivals[0].first, SimTime::from_us(3));
+}
+
+TEST(SwitchTest, RouteValidation) {
+  Simulator sim;
+  auto* sw = sim.add_component<Switch>("sw", 0);
+  EXPECT_THROW(sw->set_route(1, {}), std::invalid_argument);
+  EXPECT_THROW(sw->set_route(1, {5}), std::invalid_argument);
+  EXPECT_THROW(sw->add_port(nullptr), std::invalid_argument);
+  FlowKey k{0, 1, 1, 2};
+  EXPECT_THROW(sw->route_port(k), std::logic_error);
+}
+
+}  // namespace
+}  // namespace esim::net

@@ -1,0 +1,178 @@
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+namespace esim::sim {
+namespace {
+
+ParallelEngine::Config basic_config(std::uint32_t parts) {
+  ParallelEngine::Config cfg;
+  cfg.num_partitions = parts;
+  cfg.lookahead = SimTime::from_us(1);
+  cfg.seed = 9;
+  return cfg;
+}
+
+TEST(ParallelEngine, RejectsBadConfig) {
+  auto cfg = basic_config(0);
+  EXPECT_THROW(ParallelEngine{cfg}, std::invalid_argument);
+  cfg = basic_config(2);
+  cfg.lookahead = SimTime{};
+  EXPECT_THROW(ParallelEngine{cfg}, std::invalid_argument);
+}
+
+TEST(ParallelEngine, RunsIndependentPartitions) {
+  ParallelEngine eng{basic_config(4)};
+  std::vector<std::atomic<int>> counts(4);
+  for (std::uint32_t p = 0; p < 4; ++p) {
+    auto& sim = eng.partition(p).sim();
+    for (int i = 1; i <= 10; ++i) {
+      sim.schedule_at(SimTime::from_us(i),
+                      [&counts, p] { counts[p].fetch_add(1); });
+    }
+  }
+  eng.run_until(SimTime::from_ms(1));
+  for (auto& c : counts) EXPECT_EQ(c.load(), 10);
+  EXPECT_EQ(eng.stats().events_executed, 40u);
+  EXPECT_GT(eng.stats().sync_rounds, 0u);
+}
+
+TEST(ParallelEngine, CrossMessagesDeliverAtRequestedTime) {
+  ParallelEngine eng{basic_config(2)};
+  SimTime delivered_at;
+  auto& s0 = eng.partition(0).sim();
+  s0.schedule_at(SimTime::from_us(5), [&] {
+    eng.send_cross(0, 1, s0.now() + SimTime::from_us(2), [&] {
+      delivered_at = eng.partition(1).sim().now();
+    });
+  });
+  eng.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(delivered_at, SimTime::from_us(7));
+  EXPECT_EQ(eng.stats().cross_messages, 1u);
+}
+
+TEST(ParallelEngine, LookaheadViolationThrows) {
+  ParallelEngine eng{basic_config(2)};
+  auto& s0 = eng.partition(0).sim();
+  s0.schedule_at(SimTime::from_us(5), [&] {
+    // Delivery only 0.5us ahead with 1us lookahead: must throw, and the
+    // engine must surface it after the run instead of deadlocking.
+    eng.send_cross(0, 1, s0.now() + SimTime::from_ns(500), [] {});
+  });
+  EXPECT_THROW(eng.run_until(SimTime::from_ms(1)), std::logic_error);
+}
+
+TEST(ParallelEngine, PingPongAcrossPartitions) {
+  // Messages bounce 0 -> 1 -> 0 -> ... each hop adding exactly lookahead;
+  // checks windows never execute an event early.
+  ParallelEngine eng{basic_config(2)};
+  std::vector<std::int64_t> hops;
+  std::function<void(std::uint32_t, int)> bounce = [&](std::uint32_t at,
+                                                       int remaining) {
+    auto& sim = eng.partition(at).sim();
+    hops.push_back(sim.now().ns());
+    if (remaining == 0) return;
+    const std::uint32_t next = 1 - at;
+    eng.send_cross(at, next, sim.now() + SimTime::from_us(1),
+                   [&, next, remaining] { bounce(next, remaining - 1); });
+  };
+  eng.partition(0).sim().schedule_at(SimTime::from_us(1),
+                                     [&] { bounce(0, 20); });
+  eng.run_until(SimTime::from_ms(1));
+  ASSERT_EQ(hops.size(), 21u);
+  for (std::size_t i = 0; i < hops.size(); ++i) {
+    EXPECT_EQ(hops[i], 1000 * static_cast<std::int64_t>(i + 1));
+  }
+  EXPECT_EQ(eng.stats().cross_messages, 20u);
+}
+
+TEST(ParallelEngine, ManyToOneDrainsDeterministically) {
+  // All partitions fire messages into partition 0 at the same virtual time;
+  // execution order must be deterministic across runs (sorted by source).
+  auto run_once = [] {
+    ParallelEngine eng{basic_config(4)};
+    std::vector<int> order;
+    for (std::uint32_t p = 1; p < 4; ++p) {
+      auto& sim = eng.partition(p).sim();
+      sim.schedule_at(SimTime::from_us(1), [&eng, &order, p, &sim] {
+        eng.send_cross(p, 0, sim.now() + SimTime::from_us(3),
+                       [&order, p] { order.push_back(static_cast<int>(p)); });
+      });
+    }
+    eng.run_until(SimTime::from_ms(1));
+    return order;
+  };
+  const auto a = run_once();
+  ASSERT_EQ(a.size(), 3u);
+  for (int trial = 0; trial < 5; ++trial) EXPECT_EQ(run_once(), a);
+  EXPECT_EQ(a, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParallelEngine, EquivalentToSequentialForPartitionLocalWork) {
+  // A computation confined to one partition must produce the same result
+  // under the parallel engine as under a plain Simulator.
+  auto sequential = [] {
+    Simulator sim{77};
+    std::int64_t acc = 0;
+    std::function<void(int)> step = [&](int n) {
+      acc = acc * 31 + sim.now().ns() + static_cast<std::int64_t>(
+                                            sim.rng().uniform_int(100));
+      if (n > 0) {
+        sim.schedule_in(SimTime::from_us(1 + sim.rng().uniform_int(5)),
+                        [&step, n] { step(n - 1); });
+      }
+    };
+    sim.schedule_in(SimTime::from_us(1), [&step] { step(30); });
+    sim.run();
+    return acc;
+  };
+  auto parallel = [] {
+    auto cfg = basic_config(3);
+    cfg.seed = 77;  // partition 0 gets seed 77
+    ParallelEngine eng{cfg};
+    auto& sim = eng.partition(0).sim();
+    std::int64_t acc = 0;
+    std::function<void(int)> step = [&](int n) {
+      acc = acc * 31 + sim.now().ns() + static_cast<std::int64_t>(
+                                            sim.rng().uniform_int(100));
+      if (n > 0) {
+        sim.schedule_in(SimTime::from_us(1 + sim.rng().uniform_int(5)),
+                        [&step, n] { step(n - 1); });
+      }
+    };
+    sim.schedule_in(SimTime::from_us(1), [&step] { step(30); });
+    eng.run_until(SimTime::from_sec(1));
+    return acc;
+  };
+  EXPECT_EQ(sequential(), parallel());
+}
+
+TEST(ParallelEngine, ModeledOverheadAccumulates) {
+  auto cfg = basic_config(2);
+  cfg.round_overhead_us = 5.0;
+  ParallelEngine eng{cfg};
+  auto& sim = eng.partition(0).sim();
+  for (int i = 1; i <= 5; ++i) sim.schedule_at(SimTime::from_us(i), [] {});
+  eng.run_until(SimTime::from_ms(1));
+  EXPECT_GT(eng.stats().modeled_overhead_seconds, 0.0);
+  EXPECT_GT(eng.stats().sync_rounds, 0u);
+}
+
+TEST(ParallelEngine, RepeatedRunUntilExtends) {
+  ParallelEngine eng{basic_config(2)};
+  std::atomic<int> count{0};
+  auto& sim = eng.partition(0).sim();
+  sim.schedule_at(SimTime::from_us(10), [&] { count.fetch_add(1); });
+  sim.schedule_at(SimTime::from_ms(2), [&] { count.fetch_add(1); });
+  eng.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(count.load(), 1);
+  eng.run_until(SimTime::from_ms(5));
+  EXPECT_EQ(count.load(), 2);
+}
+
+}  // namespace
+}  // namespace esim::sim

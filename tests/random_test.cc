@@ -1,0 +1,128 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace esim::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a{42}, b{42};
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a{1}, b{2};
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r{7};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r{7};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r{11};
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = r.uniform_int(10);
+    ASSERT_LT(v, 10u);
+    ++counts[v];
+  }
+  // Chi-square-ish sanity: each bucket within 10% of expectation.
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(Rng, UniformIntOneAlwaysZero) {
+  Rng r{3};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform_int(1), 0u);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r{13};
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialNonNegative) {
+  Rng r{13};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r{17};
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShifted) {
+  Rng r{19};
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / n, 5.0, 0.02);
+}
+
+TEST(Rng, ParetoTailAboveScale) {
+  Rng r{23};
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(r.pareto(2.0, 1.5), 2.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng r{29};
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkIndependentOfParentContinuation) {
+  Rng parent{31};
+  Rng child = parent.fork();
+  // The child stream should not simply replay the parent stream.
+  Rng parent2{31};
+  (void)parent2.next_u64();  // align with the fork's consumption
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, ForkDeterministic) {
+  Rng a{99}, b{99};
+  Rng ca = a.fork(), cb = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(ca.next_u64(), cb.next_u64());
+}
+
+}  // namespace
+}  // namespace esim::sim

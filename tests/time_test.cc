@@ -1,0 +1,69 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace esim::sim {
+namespace {
+
+TEST(SimTime, DefaultIsZero) {
+  SimTime t;
+  EXPECT_EQ(t.ns(), 0);
+  EXPECT_EQ(t, SimTime::from_ns(0));
+}
+
+TEST(SimTime, UnitConstructorsAgree) {
+  EXPECT_EQ(SimTime::from_us(1).ns(), 1'000);
+  EXPECT_EQ(SimTime::from_ms(1).ns(), 1'000'000);
+  EXPECT_EQ(SimTime::from_sec(1).ns(), 1'000'000'000);
+  EXPECT_EQ(SimTime::from_sec(2), SimTime::from_ms(2000));
+  EXPECT_EQ(SimTime::from_seconds_f(0.5), SimTime::from_ms(500));
+}
+
+TEST(SimTime, Arithmetic) {
+  const auto a = SimTime::from_us(5);
+  const auto b = SimTime::from_us(3);
+  EXPECT_EQ((a + b).ns(), 8'000);
+  EXPECT_EQ((a - b).ns(), 2'000);
+  EXPECT_EQ((a * 4).ns(), 20'000);
+  auto c = a;
+  c += b;
+  EXPECT_EQ(c.ns(), 8'000);
+  c -= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(SimTime, ScaledRoundsTowardZero) {
+  EXPECT_EQ(SimTime::from_ns(10).scaled(0.55).ns(), 5);
+  EXPECT_EQ(SimTime::from_ns(-10).scaled(0.55).ns(), -5);
+}
+
+TEST(SimTime, DurationDivision) {
+  EXPECT_EQ(SimTime::from_ms(10) / SimTime::from_us(500), 20);
+}
+
+TEST(SimTime, Ordering) {
+  EXPECT_LT(SimTime::from_ns(1), SimTime::from_ns(2));
+  EXPECT_GT(SimTime::from_sec(1), SimTime::from_ms(999));
+  EXPECT_LE(SimTime::from_ns(5), SimTime::from_ns(5));
+  EXPECT_LT(SimTime{}, SimTime::max());
+}
+
+TEST(SimTime, ConversionsToFloating) {
+  EXPECT_DOUBLE_EQ(SimTime::from_ms(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(SimTime::from_us(2).to_us(), 2.0);
+}
+
+TEST(SimTime, ToStringPicksUnit) {
+  EXPECT_EQ(SimTime::from_ns(0).to_string(), "0s");
+  EXPECT_EQ(SimTime::from_ns(12).to_string(), "12ns");
+  EXPECT_EQ(SimTime::from_us(1).to_string(), "1.000us");
+  EXPECT_EQ(SimTime::from_ms(2).to_string(), "2.000ms");
+  EXPECT_EQ(SimTime::from_sec(3).to_string(), "3.000000s");
+}
+
+TEST(SimTime, MaxActsAsNever) {
+  EXPECT_GT(SimTime::max(), SimTime::from_sec(1'000'000));
+}
+
+}  // namespace
+}  // namespace esim::sim
