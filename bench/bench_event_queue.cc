@@ -1,0 +1,349 @@
+// Future-event-set microbenchmark: the pooled 4-ary-heap FES vs the seed
+// implementation (binary heap of std::function entries + unordered_set
+// liveness tracking), which is embedded below as `LegacyEventQueue` so the
+// comparison never goes stale.
+//
+// Three workloads, all deterministic:
+//   schedule_pop  — bulk schedule at pseudorandom times, then drain;
+//   cancel_heavy  — TCP-retransmission-timer churn: most events are
+//                   cancelled before they fire;
+//   mixed         — interleaved schedule/cancel/pop stream.
+//
+// Prints a table and writes machine-readable BENCH_event_queue.json into
+// the working directory so later PRs have a perf trajectory to regress
+// against (format documented in EXPERIMENTS.md). Also cross-checks that
+// both implementations pop the mixed stream in the identical (time, seq)
+// order — the determinism contract ParallelEngine relies on.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "bench_common.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/time.h"
+
+namespace esim::bench {
+namespace {
+
+using sim::SimTime;
+
+// --- the seed FES, verbatim modulo renaming (baseline under test) ---
+
+struct LegacyHandle {
+  std::uint64_t id = 0;
+};
+
+struct LegacyEvent {
+  SimTime time;
+  std::uint64_t id = 0;
+  std::function<void()> fn;
+};
+
+class LegacyEventQueue {
+ public:
+  LegacyHandle schedule(SimTime t, std::function<void()> fn) {
+    const std::uint64_t id = next_id_++;
+    heap_.push_back(Entry{t, id, id, std::move(fn)});
+    sift_up(heap_.size() - 1);
+    pending_.insert(id);
+    return LegacyHandle{id};
+  }
+
+  bool cancel(LegacyHandle h) {
+    if (h.id == 0) return false;
+    return pending_.erase(h.id) > 0;
+  }
+
+  bool empty() const { return pending_.empty(); }
+
+  std::optional<LegacyEvent> pop() {
+    prune_top();
+    if (heap_.empty()) return std::nullopt;
+    Entry e = std::move(heap_.front());
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    pending_.erase(e.id);
+    return LegacyEvent{e.time, e.id, std::move(e.fn)};
+  }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!later(heap_[parent], heap_[i])) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = l + 1;
+      std::size_t smallest = i;
+      if (l < n && later(heap_[smallest], heap_[l])) smallest = l;
+      if (r < n && later(heap_[smallest], heap_[r])) smallest = r;
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  void prune_top() {
+    while (!heap_.empty() && !pending_.contains(heap_.front().id)) {
+      heap_.front() = std::move(heap_.back());
+      heap_.pop_back();
+      if (!heap_.empty()) sift_down(0);
+    }
+  }
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_id_ = 1;
+};
+
+// --- workloads ---
+
+/// A payload shaped like the hot per-packet closures: `this` plus a
+/// Packet-sized capture (fits EventFn's inline buffer, forces
+/// std::function to the heap).
+struct PacketLikePayload {
+  std::uint64_t words[9];
+  std::uint64_t* sink;
+  void operator()() const { *sink += words[0]; }
+};
+
+volatile std::uint64_t g_sink_guard = 0;
+
+/// Keeps `v` observable without volatile compound assignment (deprecated
+/// in C++20).
+inline void consume(std::uint64_t v) { g_sink_guard = g_sink_guard + v; }
+
+template <typename Queue>
+double run_schedule_pop(std::size_t n_events, std::uint64_t seed) {
+  sim::Rng rng{seed};
+  std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  Queue q;
+  for (std::size_t i = 0; i < n_events; ++i) {
+    PacketLikePayload p{};
+    p.words[0] = i;
+    p.sink = &sink;
+    q.schedule(SimTime::from_ns(
+                   static_cast<std::int64_t>(rng.uniform_int(1'000'000))),
+               p);
+  }
+  while (auto e = q.pop()) e->fn();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  consume(sink);
+  return static_cast<double>(n_events) / dt.count();
+}
+
+template <typename Queue, typename Handle>
+double run_cancel_heavy(std::size_t n_events, std::uint64_t seed) {
+  // TCP timer churn: every "segment" schedules a retransmission timer that
+  // its "ACK" then cancels; only 1 in 8 timers ever fires.
+  sim::Rng rng{seed};
+  std::uint64_t sink = 0;
+  std::int64_t now = 0;
+  const auto start = std::chrono::steady_clock::now();
+  Queue q;
+  std::vector<Handle> outstanding;
+  outstanding.reserve(1024);
+  std::size_t scheduled = 0;
+  while (scheduled < n_events) {
+    for (int i = 0; i < 1024 && scheduled < n_events; ++i, ++scheduled) {
+      PacketLikePayload p{};
+      p.words[0] = scheduled;
+      p.sink = &sink;
+      outstanding.push_back(q.schedule(
+          SimTime::from_ns(now + 10'000 +
+                           static_cast<std::int64_t>(rng.uniform_int(5'000))),
+          p));
+    }
+    for (std::size_t i = 0; i + 1 < outstanding.size(); i += 8) {
+      for (std::size_t j = i; j < i + 7 && j < outstanding.size(); ++j) {
+        q.cancel(outstanding[j]);
+      }
+    }
+    outstanding.clear();
+    while (auto e = q.pop()) {
+      now = e->time.ns();
+      e->fn();
+    }
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  consume(sink);
+  return static_cast<double>(n_events) / dt.count();
+}
+
+/// Runs the mixed stream; when `order_out` is non-null, records the
+/// (time, payload id) pop sequence for the determinism cross-check.
+template <typename Queue, typename Handle>
+double run_mixed(std::size_t n_events, std::uint64_t seed,
+                 std::vector<std::pair<std::int64_t, std::uint64_t>>*
+                     order_out) {
+  sim::Rng rng{seed};
+  std::uint64_t sink = 0;
+  const auto start = std::chrono::steady_clock::now();
+  Queue q;
+  std::vector<Handle> live;
+  live.reserve(n_events);
+  std::size_t scheduled = 0;
+  std::int64_t now = 0;
+  while (scheduled < n_events || !q.empty()) {
+    const std::uint64_t dice = rng.uniform_int(4);
+    if (scheduled < n_events && dice < 2) {
+      PacketLikePayload p{};
+      p.words[0] = scheduled;
+      p.sink = &sink;
+      live.push_back(q.schedule(
+          SimTime::from_ns(now + 1 +
+                           static_cast<std::int64_t>(rng.uniform_int(50'000))),
+          p));
+      ++scheduled;
+    } else if (dice == 2 && !live.empty()) {
+      const std::size_t idx = rng.uniform_int(live.size());
+      q.cancel(live[idx]);
+      live[idx] = live.back();
+      live.pop_back();
+    } else {
+      if (auto e = q.pop()) {
+        now = e->time.ns();
+        const std::uint64_t before = sink;
+        e->fn();
+        if (order_out != nullptr) {
+          order_out->emplace_back(e->time.ns(), sink - before);
+        }
+      }
+    }
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  consume(sink);
+  return static_cast<double>(n_events) / dt.count();
+}
+
+double best_of(int repeats, const std::function<double()>& run) {
+  double best = 0.0;
+  for (int i = 0; i < repeats; ++i) best = std::max(best, run());
+  return best;
+}
+
+struct Row {
+  std::string name;
+  double legacy_eps = 0.0;
+  double new_eps = 0.0;
+  double speedup() const { return new_eps / legacy_eps; }
+};
+
+}  // namespace
+}  // namespace esim::bench
+
+int main() {
+  using namespace esim::bench;
+  using esim::sim::EventHandle;
+  using esim::sim::EventQueue;
+
+  const std::size_t n = quick_mode() ? 20'000 : 400'000;
+  const int repeats = quick_mode() ? 2 : 3;
+  const std::uint64_t seed = 20260805;
+
+  print_header("BENCH event_queue",
+               "pooled 4-ary-heap FES vs seed binary-heap/std::function FES");
+
+  std::vector<Row> rows;
+  {
+    Row r{"schedule_pop"};
+    r.legacy_eps = best_of(
+        repeats, [&] { return run_schedule_pop<LegacyEventQueue>(n, seed); });
+    r.new_eps = best_of(
+        repeats, [&] { return run_schedule_pop<EventQueue>(n, seed); });
+    rows.push_back(r);
+  }
+  {
+    Row r{"cancel_heavy"};
+    r.legacy_eps = best_of(repeats, [&] {
+      return run_cancel_heavy<LegacyEventQueue, LegacyHandle>(n, seed);
+    });
+    r.new_eps = best_of(repeats, [&] {
+      return run_cancel_heavy<EventQueue, EventHandle>(n, seed);
+    });
+    rows.push_back(r);
+  }
+  std::vector<std::pair<std::int64_t, std::uint64_t>> order_legacy;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> order_new;
+  {
+    Row r{"mixed"};
+    r.legacy_eps = best_of(repeats, [&] {
+      order_legacy.clear();
+      return run_mixed<LegacyEventQueue, LegacyHandle>(n, seed, &order_legacy);
+    });
+    r.new_eps = best_of(repeats, [&] {
+      order_new.clear();
+      return run_mixed<EventQueue, EventHandle>(n, seed, &order_new);
+    });
+    rows.push_back(r);
+  }
+
+  const bool order_identical = order_legacy == order_new;
+
+  std::printf("%-14s %15s %15s %9s\n", "workload", "legacy (ev/s)",
+              "pooled (ev/s)", "speedup");
+  for (const Row& r : rows) {
+    std::printf("%-14s %15.0f %15.0f %8.2fx\n", r.name.c_str(), r.legacy_eps,
+                r.new_eps, r.speedup());
+  }
+  std::printf("mixed pop order identical to legacy: %s\n",
+              order_identical ? "yes" : "NO (determinism regression!)");
+
+  const std::string path = "BENCH_event_queue.json";
+  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"bench\": \"event_queue\",\n");
+    std::fprintf(f, "  \"events_per_workload\": %zu,\n", n);
+    std::fprintf(f, "  \"order_identical\": %s,\n",
+                 order_identical ? "true" : "false");
+    std::fprintf(f, "  \"workloads\": {\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::fprintf(f,
+                   "    \"%s\": {\"events_per_sec_legacy\": %.0f, "
+                   "\"events_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
+                   r.name.c_str(), r.legacy_eps, r.new_eps, r.speedup(),
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  } else {
+    std::printf("WARNING: could not write %s\n", path.c_str());
+  }
+
+  print_note(
+      "events/sec counts each event once through its schedule->pop/cancel "
+      "lifecycle; 'legacy' is the seed FES embedded in this binary.");
+  return order_identical ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the default and asan-ubsan presets and runs the full test suite
+# under both. This is the gate the FES small-buffer-callback and
+# generation-slot code must pass: ASan catches lifetime bugs in the inline
+# storage, UBSan catches misaligned placement-new and signed overflow.
+#
+# Usage: scripts/check.sh [-jN]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="-j$(nproc)"
+if [[ $# -ge 1 && $1 == -j* ]]; then
+  jobs=$1
+fi
+
+for preset in default asan-ubsan; do
+  echo "=== preset: ${preset} — configure ==="
+  cmake --preset "${preset}"
+  echo "=== preset: ${preset} — build ==="
+  cmake --build --preset "${preset}" "${jobs}"
+  echo "=== preset: ${preset} — test ==="
+  ctest --preset "${preset}" "${jobs}"
+done
+
+echo "All presets passed."

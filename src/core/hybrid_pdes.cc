@@ -102,7 +102,7 @@ PartitionedHybridNetwork build_hybrid_network_partitioned(
     return a + "->" + b;
   };
   auto cross = [&engine](std::uint32_t from, std::uint32_t to) {
-    return [&engine, from, to](sim::SimTime at, std::function<void()> fn) {
+    return [&engine, from, to](sim::SimTime at, sim::EventFn fn) {
       engine.send_cross(from, to, at, std::move(fn));
     };
   };

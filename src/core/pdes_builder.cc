@@ -72,8 +72,8 @@ PdesNetwork build_leaf_spine_partitioned(sim::ParallelEngine& engine,
     Link* link = psim.add_component<Link>(name, lcfg, dst);
     if (owner_partition != dst_partition) {
       link->set_remote_scheduler(
-          [&engine, owner_partition, dst_partition](
-              sim::SimTime at, std::function<void()> fn) {
+          [&engine, owner_partition, dst_partition](sim::SimTime at,
+                                                    sim::EventFn fn) {
             engine.send_cross(owner_partition, dst_partition, at,
                               std::move(fn));
           });

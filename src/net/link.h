@@ -30,9 +30,11 @@ class PacketHandler {
 };
 
 /// Schedules `fn` at absolute virtual time `at` on the *receiving* end's
-/// engine. Used for links that cross PDES partitions.
-using RemoteScheduler =
-    std::function<void(sim::SimTime at, std::function<void()> fn)>;
+/// engine. Used for links that cross PDES partitions. Takes the event
+/// payload as a sim::EventFn so per-packet delivery closures ride the
+/// FES's small-buffer path end to end (no std::function boxing at the
+/// partition boundary).
+using RemoteScheduler = std::function<void(sim::SimTime at, sim::EventFn fn)>;
 
 /// Unidirectional link: drop-tail queue + serializer + propagation wire.
 class Link : public sim::Component {

@@ -1,19 +1,29 @@
-// The future-event set: a binary min-heap keyed on (time, sequence number).
+// The future-event set: a 4-ary min-heap keyed on (time, sequence number).
 //
 // The sequence number guarantees a total, deterministic order even among
 // events scheduled for the same instant: ties break in scheduling order,
 // matching the behaviour of OMNeT++'s FES that the paper's prototype
-// extends. Cancellation is lazy — cancelled entries stay in the heap and are
-// discarded on pop — because the dominant cancellers (TCP retransmission
-// timers) cancel events that are near the top anyway.
+// extends. That (time, seq) total order is a determinism contract:
+// ParallelEngine::drain_inbox relies on it to make cross-partition message
+// delivery reproducible, so any FES rework must preserve it bit-for-bit.
+//
+// Layout: heap entries are 24-byte (time, seq, slot, generation) records —
+// small enough that a 4-ary heap keeps parent and children within one or
+// two cache lines — while the callback payloads live in a side pool of
+// generation-tagged slots. A handle encodes (slot, generation); cancelling
+// bumps the slot's generation, which simultaneously invalidates the handle,
+// marks the heap entry dead (its recorded generation no longer matches),
+// and frees the slot for reuse. Cancellation destroys the closure
+// immediately — cancel-heavy TCP timer churn never pins dead closures —
+// and the dead 24-byte heap entries are pruned eagerly at the top and
+// compacted wholesale when they outnumber the live ones.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <optional>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace esim::sim {
@@ -30,10 +40,10 @@ struct EventHandle {
 struct Event {
   SimTime time;
   std::uint64_t id = 0;
-  std::function<void()> fn;
+  EventFn fn;
 };
 
-/// Binary min-heap of events ordered by (time, insertion sequence).
+/// 4-ary min-heap of events ordered by (time, insertion sequence).
 ///
 /// Not thread-safe: in parallel runs each partition owns its own queue.
 class EventQueue {
@@ -41,17 +51,18 @@ class EventQueue {
   EventQueue() = default;
 
   /// Schedules `fn` at absolute time `t`. Returns a handle for cancellation.
-  EventHandle schedule(SimTime t, std::function<void()> fn);
+  EventHandle schedule(SimTime t, EventFn fn);
 
-  /// Cancels a previously scheduled event. Returns false if the event
-  /// already executed or was already cancelled.
+  /// Cancels a previously scheduled event, destroying its closure
+  /// immediately. Returns false if the event already executed or was
+  /// already cancelled.
   bool cancel(EventHandle h);
 
   /// True when no live (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return live_ == 0; }
 
   /// Number of live events.
-  std::size_t size() const { return pending_.size(); }
+  std::size_t size() const { return live_; }
 
   /// Time of the earliest live event. Requires !empty().
   SimTime next_time();
@@ -60,34 +71,74 @@ class EventQueue {
   std::optional<Event> pop();
 
   /// Total events ever scheduled (for performance accounting).
-  std::uint64_t total_scheduled() const { return next_id_ - 1; }
+  std::uint64_t total_scheduled() const { return total_scheduled_; }
+
+  /// Heap entries currently held, live + dead (diagnostic: bounds the
+  /// memory retained by cancelled-but-not-yet-compacted events).
+  std::size_t heap_entries() const { return heap_.size(); }
 
   /// Drops all pending events.
   void clear();
 
  private:
+  /// 24 bytes; the closure lives in slots_[slot] while gen matches.
   struct Entry {
     SimTime time;
     std::uint64_t seq;  // insertion order; tie-break for equal times
-    std::uint64_t id;
-    std::function<void()> fn;
+    std::uint32_t slot;
+    std::uint32_t gen;
   };
+
+  /// Callback storage. `gen` counts lifetimes: it is the generation of the
+  /// current occupant while the slot is live, and the generation the *next*
+  /// occupant will get while the slot sits on the free list. A handle or
+  /// heap entry is live iff its recorded gen equals the slot's.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNpos;
+  };
+
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+  static constexpr std::size_t kArity = 4;
+  /// Compaction below this size isn't worth the rebuild.
+  static constexpr std::size_t kCompactMin = 64;
 
   static bool later(const Entry& a, const Entry& b) {
     if (a.time != b.time) return a.time > b.time;
     return a.seq > b.seq;
   }
 
+  static constexpr std::uint64_t handle_id(std::uint32_t slot,
+                                           std::uint32_t gen) {
+    // gen >= 1, so the id is never 0 (the null-handle sentinel).
+    return (static_cast<std::uint64_t>(gen) << 32) | slot;
+  }
+
+  bool entry_dead(const Entry& e) const {
+    return slots_[e.slot].gen != e.gen;
+  }
+
+  std::uint32_t acquire_slot(EventFn fn);
+  /// Invalidates handles/entries for `slot` and recycles it.
+  void release_slot(std::uint32_t slot);
+
   void sift_up(std::size_t i);
   void sift_down(std::size_t i);
+  /// Removes the root entry (swap-with-last + sift).
+  void remove_top();
   /// Removes cancelled entries from the top of the heap.
   void prune_top();
+  /// Rewrites the heap without its dead entries when they dominate.
+  void maybe_compact();
 
   std::vector<Entry> heap_;
-  // Ids currently scheduled and not cancelled. Heap entries whose id is
-  // absent from this set are dead and skipped on pop.
-  std::unordered_set<std::uint64_t> pending_;
-  std::uint64_t next_id_ = 1;
+  std::vector<Slot> slots_;
+  std::uint32_t free_head_ = kNpos;
+  std::size_t live_ = 0;
+  std::size_t dead_in_heap_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t total_scheduled_ = 0;
 };
 
 }  // namespace esim::sim

@@ -18,7 +18,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -33,7 +32,7 @@ struct CrossMessage {
   SimTime deliver_at;
   std::uint32_t source_partition = 0;
   std::uint64_t source_seq = 0;  // per-source counter; makes drains sortable
-  std::function<void()> fn;
+  EventFn fn;
 };
 
 /// One partition of a parallel run: a full sequential Simulator plus an
@@ -116,7 +115,7 @@ class ParallelEngine {
   /// `deliver_at`. Must satisfy deliver_at >= sender's now + lookahead;
   /// violations throw (they would break conservative causality).
   void send_cross(std::uint32_t from, std::uint32_t to, SimTime deliver_at,
-                  std::function<void()> fn);
+                  EventFn fn);
 
   /// Runs all partitions to virtual time `end` using worker threads.
   /// Blocking; may be called repeatedly to extend a run.

@@ -11,7 +11,7 @@ Simulator::Simulator(std::uint64_t seed) : rng_{seed} {}
 
 Simulator::~Simulator() = default;
 
-EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(SimTime t, EventFn fn) {
   if (t < now_) {
     throw std::logic_error("schedule_at: time " + t.to_string() +
                            " is in the past (now=" + now_.to_string() + ")");
@@ -19,7 +19,7 @@ EventHandle Simulator::schedule_at(SimTime t, std::function<void()> fn) {
   return queue_.schedule(t, std::move(fn));
 }
 
-EventHandle Simulator::schedule_in(SimTime d, std::function<void()> fn) {
+EventHandle Simulator::schedule_in(SimTime d, EventFn fn) {
   if (d < SimTime{}) {
     throw std::logic_error("schedule_in: negative delay " + d.to_string());
   }

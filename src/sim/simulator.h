@@ -7,7 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -43,10 +42,10 @@ class Simulator {
   SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
-  EventHandle schedule_at(SimTime t, std::function<void()> fn);
+  EventHandle schedule_at(SimTime t, EventFn fn);
 
   /// Schedules `fn` after a delay of `d` (must be >= 0).
-  EventHandle schedule_in(SimTime d, std::function<void()> fn);
+  EventHandle schedule_in(SimTime d, EventFn fn);
 
   /// Cancels a pending event. Returns false if already fired or cancelled.
   bool cancel(EventHandle h);

@@ -7,13 +7,27 @@
 namespace esim::stats {
 
 void EmpiricalCdf::add(double x) {
+  // Appending in non-decreasing order keeps the set sorted; only a sample
+  // below the current back invalidates it. This keeps interleaved
+  // add/quantile usage (the Figure 4 collectors) from re-sorting a large
+  // already-sorted vector on every query.
+  if (sorted_ && !samples_.empty() && x < samples_.back()) sorted_ = false;
   samples_.push_back(x);
-  sorted_ = samples_.size() <= 1;
 }
 
 void EmpiricalCdf::add_all(const std::vector<double>& xs) {
+  if (xs.empty()) return;  // nothing appended: sortedness is untouched
+  if (sorted_) {
+    double prev = samples_.empty() ? xs.front() : samples_.back();
+    for (const double x : xs) {
+      if (x < prev) {
+        sorted_ = false;
+        break;
+      }
+      prev = x;
+    }
+  }
   samples_.insert(samples_.end(), xs.begin(), xs.end());
-  sorted_ = samples_.size() <= 1;
 }
 
 void EmpiricalCdf::ensure_sorted() const {

@@ -40,6 +40,11 @@ class EmpiricalCdf {
   /// Sorted copy of the samples.
   const std::vector<double>& sorted() const;
 
+  /// True when the sample buffer is known to already be in sorted order
+  /// (diagnostic; lets tests assert that appends which preserve order do
+  /// not schedule a needless re-sort).
+  bool sorted_hint() const { return sorted_; }
+
   /// Evenly spaced (value, cumulative fraction) points for plotting,
   /// `n` >= 2 points from min to max.
   std::vector<std::pair<double, double>> curve(std::size_t n) const;

@@ -21,7 +21,12 @@ void RtoEstimator::add_sample(sim::SimTime rtt) {
     // SRTT <- 7/8 SRTT + 1/8 R
     srtt_ = sim::SimTime::from_ns((7 * srtt_.ns() + rtt.ns()) / 8);
   }
-  rto_ = srtt_ + rttvar_ * 4;
+  // RFC 6298 §2.3: RTO = SRTT + max(G, 4*RTTVAR). The granularity floor
+  // keeps the RTO strictly above SRTT even when RTTVAR has decayed to zero
+  // on a stable path.
+  const sim::SimTime var_term = rttvar_ * 4;
+  rto_ = srtt_ + (var_term > config_.granularity ? var_term
+                                                 : config_.granularity);
   clamp();
 }
 

@@ -22,6 +22,13 @@ class RtoEstimator {
     sim::SimTime min = sim::SimTime::from_ms(10);
     /// Upper bound on the computed RTO.
     sim::SimTime max = sim::SimTime::from_sec(60);
+    /// Clock granularity G in RFC 6298's `RTO = SRTT + max(G, 4*RTTVAR)`.
+    /// The variance term is kept on integer nanoseconds, so on a perfectly
+    /// stable RTT it truncates to zero; without this floor the RTO would
+    /// collapse to exactly SRTT and the first microsecond of jitter would
+    /// trigger a spurious retransmission. Linux uses one jiffy (1-4 ms);
+    /// we default to 1 ms.
+    sim::SimTime granularity = sim::SimTime::from_ms(1);
   };
 
   /// Default-configured estimator.

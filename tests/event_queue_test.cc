@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "sim/random.h"
@@ -114,6 +116,92 @@ TEST(EventQueue, TotalScheduledCountsEverything) {
   q.schedule(SimTime::from_ns(2), [] {});
   q.cancel(h);
   EXPECT_EQ(q.total_scheduled(), 2u);
+}
+
+TEST(EventQueue, MoveOnlyAndOversizedCallablesWork) {
+  EventQueue q;
+  int value = 0;
+  // Move-only capture (std::function could never hold this).
+  auto token = std::make_unique<int>(7);
+  q.schedule(SimTime::from_ns(1),
+             [&value, owned = std::move(token)] { value = *owned; });
+  // Capture larger than EventFn's inline buffer: exercises the heap
+  // fallback path.
+  struct Big {
+    char blob[2 * EventFn::kInlineSize] = {};
+    int* out = nullptr;
+  };
+  Big big;
+  big.out = &value;
+  q.schedule(SimTime::from_ns(2), [big] { *big.out += 1; });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(value, 8);
+}
+
+TEST(EventQueue, HandleReuseAcrossGenerations) {
+  EventQueue q;
+  bool first_ran = false;
+  bool second_ran = false;
+  auto h1 = q.schedule(SimTime::from_ns(10), [&] { first_ran = true; });
+  EXPECT_TRUE(q.cancel(h1));
+  // The slot is recycled for the next schedule; the stale handle must not
+  // be able to cancel the new occupant.
+  auto h2 = q.schedule(SimTime::from_ns(20), [&] { second_ran = true; });
+  EXPECT_NE(h1.id, h2.id);
+  EXPECT_FALSE(q.cancel(h1));
+  EXPECT_EQ(q.size(), 1u);
+  while (auto e = q.pop()) e->fn();
+  EXPECT_FALSE(first_ran);
+  EXPECT_TRUE(second_ran);
+  // And after execution the recycled handle is dead too.
+  EXPECT_FALSE(q.cancel(h2));
+}
+
+// The satellite churn scenario: 100k TCP-retransmission-timer-like events,
+// 7 of 8 cancelled before firing. Asserts (a) pop order matches the sorted
+// (time, seq) reference exactly, (b) dead entries do not accumulate beyond
+// the compaction bound, and (c) handles stay valid across slot-generation
+// reuse.
+TEST(EventQueue, CancelHeavyChurnKeepsOrderAndBoundsMemory) {
+  constexpr int kEvents = 100'000;
+  Rng rng{7};
+  EventQueue q;
+  struct Ref {
+    std::int64_t t;
+    std::uint64_t seq;
+  };
+  std::vector<Ref> expect;
+  std::vector<std::pair<std::int64_t, std::uint64_t>> popped;
+  std::vector<EventHandle> wave;
+  std::size_t max_heap_entries = 0;
+  std::size_t max_live = 0;
+  for (int i = 0; i < kEvents; ++i) {
+    const auto t = static_cast<std::int64_t>(rng.uniform_int(1'000'000));
+    const auto s = static_cast<std::uint64_t>(i);
+    auto h = q.schedule(SimTime::from_ns(t),
+                        [&popped, t, s] { popped.emplace_back(t, s); });
+    wave.push_back(h);
+    if (wave.size() == 8) {
+      // Cancel 7 of 8, like ACKs clearing retransmission timers.
+      for (std::size_t k = 0; k + 1 < wave.size(); ++k) {
+        ASSERT_TRUE(q.cancel(wave[k]));
+      }
+      expect.push_back(Ref{t, s});
+      wave.clear();
+    }
+    max_heap_entries = std::max(max_heap_entries, q.heap_entries());
+    max_live = std::max(max_live, q.size());
+  }
+  for (auto h : wave) q.cancel(h);
+  // Dead-entry retention bound: compaction keeps the heap within 2x the
+  // live count (plus the small-queue threshold it does not bother with).
+  EXPECT_LE(max_heap_entries, 2 * max_live + 64);
+  EXPECT_LE(q.heap_entries(), 2 * q.size() + 64);
+  while (auto e = q.pop()) e->fn();
+  std::vector<std::pair<std::int64_t, std::uint64_t>> want;
+  for (const auto& r : expect) want.emplace_back(r.t, r.seq);
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(popped, want);
 }
 
 // Property test: against a sorted reference, random schedule/cancel

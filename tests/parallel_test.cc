@@ -162,6 +162,33 @@ TEST(ParallelEngine, ModeledOverheadAccumulates) {
   EXPECT_GT(eng.stats().sync_rounds, 0u);
 }
 
+// Regression: the terminating sync round (the one that discovers there is
+// no next window) used to increment sync_rounds and spin the modeled MPI
+// overhead even though no window executes, inflating the Figure 1 overhead
+// model by one round per run_until call.
+TEST(ParallelEngine, TerminatingRoundIsNotCharged) {
+  auto cfg = basic_config(2);
+  cfg.round_overhead_us = 50.0;
+  ParallelEngine eng{cfg};
+  // No events at all: run_until's only round is the terminating one.
+  eng.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(eng.stats().sync_rounds, 0u);
+  EXPECT_EQ(eng.stats().modeled_overhead_seconds, 0.0);
+}
+
+TEST(ParallelEngine, SyncRoundCountIsExact) {
+  ParallelEngine eng{basic_config(2)};
+  auto& sim = eng.partition(0).sim();
+  // With 1us lookahead each window advances past exactly one of these
+  // events, so 10 window rounds run; the terminating round adds nothing.
+  for (int i = 1; i <= 10; ++i) sim.schedule_at(SimTime::from_us(3 * i), [] {});
+  eng.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(eng.stats().sync_rounds, 10u);
+  // A second run with nothing left must not charge any further rounds.
+  eng.run_until(SimTime::from_ms(2));
+  EXPECT_EQ(eng.stats().sync_rounds, 10u);
+}
+
 TEST(ParallelEngine, RepeatedRunUntilExtends) {
   ParallelEngine eng{basic_config(2)};
   std::atomic<int> count{0};

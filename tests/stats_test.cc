@@ -117,6 +117,47 @@ TEST(EmpiricalCdf, QuantilesOfKnownData) {
   EXPECT_DOUBLE_EQ(c.max(), 100.0);
 }
 
+// Regression: add/add_all used to unconditionally mark the sample set
+// unsorted — add_all({}) on a sorted million-sample set forced a needless
+// O(n log n) re-sort on the next quantile. Order-preserving appends must
+// keep the sorted hint, and the hint must never produce wrong quantiles.
+TEST(EmpiricalCdf, AppendsPreserveSortedness) {
+  EmpiricalCdf c;
+  for (int i = 0; i < 1000; ++i) c.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(c.quantile(0.5), 500.0);  // sorts (already in order)
+  EXPECT_TRUE(c.sorted_hint());
+
+  c.add_all({});  // nothing appended: must not invalidate
+  EXPECT_TRUE(c.sorted_hint());
+
+  c.add(1000.0);  // appended in order: still sorted
+  c.add_all({1001.0, 1002.0});
+  EXPECT_TRUE(c.sorted_hint());
+  EXPECT_DOUBLE_EQ(c.max(), 1002.0);
+  EXPECT_TRUE(c.sorted_hint());
+
+  c.add(0.5);  // out of order: must invalidate and re-sort on next query
+  EXPECT_FALSE(c.sorted_hint());
+  EXPECT_DOUBLE_EQ(c.min(), 0.0);
+  EXPECT_DOUBLE_EQ(c.max(), 1002.0);
+  EXPECT_TRUE(c.sorted_hint());
+
+  c.add_all({500.25, 1.5});  // unsorted batch: invalidates
+  EXPECT_FALSE(c.sorted_hint());
+  EXPECT_EQ(c.size(), 1006u);
+  EXPECT_DOUBLE_EQ(c.quantile(1.0), 1002.0);
+}
+
+TEST(EmpiricalCdf, InterleavedAddAndQuantileStayCorrect) {
+  EmpiricalCdf c;
+  for (int round = 0; round < 50; ++round) {
+    c.add(static_cast<double>(100 - round));  // strictly decreasing
+    EXPECT_DOUBLE_EQ(c.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(c.quantile(0.0), static_cast<double>(100 - round));
+  }
+  EXPECT_EQ(c.size(), 50u);
+}
+
 TEST(EmpiricalCdf, AtEvaluatesFraction) {
   EmpiricalCdf c;
   c.add_all({1.0, 2.0, 3.0, 4.0});

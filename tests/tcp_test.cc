@@ -53,6 +53,29 @@ TEST(RtoEstimator, MinimumClamp) {
   EXPECT_EQ(rto.rto(), SimTime::from_ms(10));
 }
 
+// Regression: RTTVAR's integer smoothing truncates to zero on a perfectly
+// stable path; without the RFC 6298 clock-granularity floor the RTO then
+// collapses to exactly SRTT, so the first microsecond of jitter fires a
+// spurious retransmission.
+TEST(RtoEstimator, StableRttKeepsRtoAboveSrtt) {
+  RtoEstimator rto;  // default granularity 1ms, min 10ms
+  for (int i = 0; i < 1000; ++i) rto.add_sample(SimTime::from_ms(50));
+  EXPECT_EQ(rto.srtt(), SimTime::from_ms(50));
+  EXPECT_EQ(rto.rttvar(), SimTime{});  // the variance has fully decayed
+  // RTO = SRTT + max(G, 4*RTTVAR) = 50ms + 1ms, strictly above SRTT.
+  EXPECT_EQ(rto.rto(), SimTime::from_ms(51));
+  EXPECT_GT(rto.rto(), rto.srtt());
+}
+
+TEST(RtoEstimator, GranularityFloorIsConfigurable) {
+  RtoEstimator::Config cfg;
+  cfg.granularity = SimTime::from_us(100);
+  cfg.min = SimTime::from_us(1);
+  RtoEstimator rto{cfg};
+  for (int i = 0; i < 1000; ++i) rto.add_sample(SimTime::from_ms(50));
+  EXPECT_EQ(rto.rto(), SimTime::from_ms(50) + SimTime::from_us(100));
+}
+
 TEST(RtoEstimator, BackoffDoublesAndClamps) {
   RtoEstimator::Config cfg;
   cfg.max = SimTime::from_ms(300);
