@@ -28,6 +28,7 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/time.h"
+#include "telemetry/report.h"
 
 namespace esim::bench {
 namespace {
@@ -320,23 +321,20 @@ int main() {
   std::printf("mixed pop order identical to legacy: %s\n",
               order_identical ? "yes" : "NO (determinism regression!)");
 
+  // Same top-level keys as before PR 3 (EXPERIMENTS.md), now emitted as a
+  // versioned telemetry run report.
+  esim::telemetry::RunReport report{"event_queue"};
+  report.set("bench", "event_queue");
+  report.set("events_per_workload", static_cast<std::uint64_t>(n));
+  report.set("order_identical", order_identical);
+  for (const Row& r : rows) {
+    report.set("workloads." + r.name + ".events_per_sec_legacy",
+               r.legacy_eps);
+    report.set("workloads." + r.name + ".events_per_sec", r.new_eps);
+    report.set("workloads." + r.name + ".speedup", r.speedup());
+  }
   const std::string path = "BENCH_event_queue.json";
-  if (std::FILE* f = std::fopen(path.c_str(), "w")) {
-    std::fprintf(f, "{\n  \"bench\": \"event_queue\",\n");
-    std::fprintf(f, "  \"events_per_workload\": %zu,\n", n);
-    std::fprintf(f, "  \"order_identical\": %s,\n",
-                 order_identical ? "true" : "false");
-    std::fprintf(f, "  \"workloads\": {\n");
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      const Row& r = rows[i];
-      std::fprintf(f,
-                   "    \"%s\": {\"events_per_sec_legacy\": %.0f, "
-                   "\"events_per_sec\": %.0f, \"speedup\": %.3f}%s\n",
-                   r.name.c_str(), r.legacy_eps, r.new_eps, r.speedup(),
-                   i + 1 < rows.size() ? "," : "");
-    }
-    std::fprintf(f, "  }\n}\n");
-    std::fclose(f);
+  if (report.write(path)) {
     std::printf("wrote %s\n", path.c_str());
   } else {
     std::printf("WARNING: could not write %s\n", path.c_str());

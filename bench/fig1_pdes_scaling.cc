@@ -20,6 +20,7 @@
 #include "core/full_builder.h"
 #include "core/pdes_builder.h"
 #include "sim/parallel.h"
+#include "telemetry/report.h"
 #include "workload/generator.h"
 
 namespace {
@@ -124,6 +125,10 @@ int main() {
   std::vector<std::uint32_t> sizes{4, 8, 16, 32};
   if (bench::quick_mode()) sizes = {4, 8};
 
+  telemetry::RunReport report{"fig1_pdes_scaling"};
+  report.set("bench", "fig1_pdes_scaling");
+  report.set("load", load);
+
   std::printf("%-8s %-16s %-16s %-16s %-16s\n", "ToRs", "single-thread",
               "pdes-1machine", "pdes-2machines", "pdes-4machines");
   for (const auto n : sizes) {
@@ -134,6 +139,18 @@ int main() {
     std::printf("%-8u %-16.4g %-16.4g %-16.4g %-16.4g\n", n, single.rate(),
                 p1.rate(), p2.rate(), p4.rate());
     std::fflush(stdout);
+    const std::string row = "tors" + std::to_string(n);
+    report.set(row + ".single_thread.rate", single.rate());
+    report.set(row + ".single_thread.events", single.events);
+    report.set(row + ".pdes_1machine.rate", p1.rate());
+    report.set(row + ".pdes_2machines.rate", p2.rate());
+    report.set(row + ".pdes_4machines.rate", p4.rate());
+    report.set(row + ".pdes_4machines.events", p4.events);
+  }
+
+  const std::string report_path = "BENCH_fig1_pdes_scaling.json";
+  if (report.write(report_path)) {
+    std::printf("wrote %s\n", report_path.c_str());
   }
 
   bench::print_note(

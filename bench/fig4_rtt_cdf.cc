@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/experiment.h"
+#include "core/run_report.h"
 #include "stats/distance.h"
 
 namespace {
@@ -56,7 +57,8 @@ core::ExperimentConfig make_config() {
 int main() {
   bench::print_header("Figure 4",
                       "CDF of packet RTTs: groundtruth vs approximation");
-  const auto cfg = make_config();
+  auto cfg = make_config();
+  cfg.telemetry = true;
 
   std::printf("[1/4] recording boundary trace (2-cluster full sim)...\n");
   const auto trace = core::record_boundary_trace(cfg);
@@ -99,6 +101,23 @@ int main() {
                   hybrid.approx_stats.predicted_drops),
               static_cast<unsigned long long>(
                   hybrid.approx_stats.conflicts_resolved));
+
+  telemetry::RunReport report{"fig4_rtt_cdf"};
+  report.set("bench", "fig4_rtt_cdf");
+  core::add_experiment_config(report, cfg, cfg.net.spec);
+  report.set("train.boundary_records",
+             static_cast<std::uint64_t>(models.boundary_records));
+  report.set("train.ingress.final_loss", models.ingress_report.final_loss);
+  report.set("train.egress.final_loss", models.egress_report.final_loss);
+  core::add_run_result(report, "full", full);
+  core::add_run_result(report, "hybrid", hybrid);
+  report.set("distance.ks", stats::ks_distance(full.rtt_cdf, hybrid.rtt_cdf));
+  report.set("distance.wasserstein_seconds",
+             stats::wasserstein_distance(full.rtt_cdf, hybrid.rtt_cdf));
+  const std::string report_path = "BENCH_fig4_rtt_cdf.json";
+  if (report.write(report_path)) {
+    std::printf("wrote %s\n", report_path.c_str());
+  }
 
   bench::print_note(
       "reproduction target (paper §6.1): the approximate CDF rises at a "

@@ -17,6 +17,9 @@
 #include "bench_common.h"
 #include "core/experiment.h"
 #include "core/hybrid_pdes.h"
+#include "core/run_report.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "workload/generator.h"
 
 namespace {
@@ -30,6 +33,7 @@ struct Outcome {
   std::uint64_t cross_messages = 0;
   std::uint64_t sync_rounds = 0;
   std::uint64_t flows = 0;
+  telemetry::Snapshot metrics;
 };
 
 core::ExperimentConfig base_config(std::uint32_t clusters) {
@@ -61,7 +65,9 @@ Outcome run_parallel_hybrid(const core::ExperimentConfig& cfg,
   ecfg.num_partitions = partitions;
   ecfg.lookahead = SimTime::from_us(1);
   ecfg.seed = cfg.seed + 1;
+  telemetry::Registry registry;  // outlives the engine publishing into it
   sim::ParallelEngine engine{ecfg};
+  engine.set_telemetry(&registry);  // before components are built
   core::HybridConfig hcfg;
   hcfg.net = cfg.net;
   hcfg.approx = cfg.approx;
@@ -101,6 +107,7 @@ Outcome run_parallel_hybrid(const core::ExperimentConfig& cfg,
   o.cross_messages = engine.stats().cross_messages;
   o.sync_rounds = engine.stats().sync_rounds;
   for (auto* g : gens) o.flows += g->launched();
+  o.metrics = registry.snapshot();
   return o;
 }
 
@@ -114,8 +121,14 @@ int main() {
   std::vector<std::uint32_t> cluster_counts{4, 8};
   if (bench::quick_mode()) cluster_counts = {4};
 
+  telemetry::RunReport report{"fig5_parallel"};
+  report.set("bench", "fig5_parallel");
+  bool traced = false;
+
   for (const auto clusters : cluster_counts) {
     auto cfg = base_config(clusters);
+    cfg.telemetry = true;
+    const std::string section = "clusters" + std::to_string(clusters);
     std::printf("\n--- %u clusters ---\n", clusters);
     const auto models = core::train_cluster_models(cfg);
 
@@ -123,9 +136,26 @@ int main() {
     std::printf("%-22s wall %.3fs, %llu events\n", "hybrid sequential",
                 seq.wall_seconds,
                 static_cast<unsigned long long>(seq.events_executed));
+    core::add_run_result(report, section + ".sequential", seq);
 
     for (const std::uint32_t parts : {2u, 4u}) {
+      // Trace the first PDES run: the chrome JSON shows per-partition
+      // pdes.window spans, pdes.sync_round instants, and approx.inference
+      // spans overlapping across islands.
+      telemetry::TraceSession trace;
+      const bool trace_this = !traced;
+      if (trace_this) trace.start();
       const auto par = run_parallel_hybrid(cfg, models, parts);
+      if (trace_this) {
+        trace.stop();
+        traced = true;
+        const std::string trace_path = "BENCH_fig5_parallel_trace.json";
+        if (trace.write_chrome_json(trace_path)) {
+          std::printf("wrote %s (%llu events dropped to ring wrap)\n",
+                      trace_path.c_str(),
+                      static_cast<unsigned long long>(trace.overwritten()));
+        }
+      }
       std::printf(
           "%-15s (P=%u) wall %.3fs, %llu events, %llu cross msgs over "
           "%llu rounds\n",
@@ -133,7 +163,19 @@ int main() {
           static_cast<unsigned long long>(par.events),
           static_cast<unsigned long long>(par.cross_messages),
           static_cast<unsigned long long>(par.sync_rounds));
+      const std::string ps = section + ".pdes_p" + std::to_string(parts);
+      report.set(ps + ".wall_seconds", par.wall_seconds);
+      report.set(ps + ".events_executed", par.events);
+      report.set(ps + ".cross_messages", par.cross_messages);
+      report.set(ps + ".sync_rounds", par.sync_rounds);
+      report.set(ps + ".flows_launched", par.flows);
+      report.add_metrics(par.metrics, ps + ".metrics");
     }
+  }
+
+  const std::string report_path = "BENCH_fig5_parallel.json";
+  if (report.write(report_path)) {
+    std::printf("wrote %s\n", report_path.c_str());
   }
 
   bench::print_note(

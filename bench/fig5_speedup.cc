@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/experiment.h"
+#include "telemetry/report.h"
 
 namespace {
 
@@ -62,6 +63,11 @@ int main() {
   std::vector<std::uint32_t> cluster_counts{2, 4, 8, 16};
   if (bench::quick_mode()) cluster_counts = {2, 4};
 
+  // Telemetry stays off (cfg default): this bench times full vs hybrid
+  // walls, so neither side should pay even counter updates.
+  telemetry::RunReport report{"fig5_speedup"};
+  report.set("bench", "fig5_speedup");
+
   std::printf("%-10s %-12s %-12s %-10s %-14s %-14s\n", "clusters",
               "full-wall-s", "approx-wall-s", "speedup", "full-events",
               "approx-events");
@@ -78,6 +84,17 @@ int main() {
                 static_cast<unsigned long long>(full.events_executed),
                 static_cast<unsigned long long>(hybrid.events_executed));
     std::fflush(stdout);
+    const std::string row = "clusters" + std::to_string(clusters);
+    report.set(row + ".full.wall_seconds", full.wall_seconds);
+    report.set(row + ".full.events_executed", full.events_executed);
+    report.set(row + ".hybrid.wall_seconds", hybrid.wall_seconds);
+    report.set(row + ".hybrid.events_executed", hybrid.events_executed);
+    report.set(row + ".speedup", speedup);
+  }
+
+  const std::string report_path = "BENCH_fig5_speedup.json";
+  if (report.write(report_path)) {
+    std::printf("wrote %s\n", report_path.c_str());
   }
 
   bench::print_note(

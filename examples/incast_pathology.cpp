@@ -11,9 +11,12 @@
 //
 //   ./build/examples/incast_pathology
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "core/full_builder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
 #include "workload/generator.h"
 
 using namespace esim;  // NOLINT
@@ -26,10 +29,13 @@ struct Outcome {
   double aggregate_goodput_gbps = 0.0;
   std::uint64_t timeouts = 0;
   int completed = 0;
+  telemetry::Snapshot metrics;
 };
 
 Outcome run_incast(int senders) {
+  telemetry::Registry registry;  // outlives the sim publishing into it
   sim::Simulator sim{7};
+  sim.set_telemetry(&registry);
   core::NetworkConfig cfg;
   cfg.spec.clusters = 2;
   cfg.spec.tors_per_cluster = 2;
@@ -66,6 +72,7 @@ Outcome run_incast(int senders) {
     out.aggregate_goodput_gbps = static_cast<double>(senders) * kBlock *
                                  8.0 / last_done.to_seconds() / 1e9;
   }
+  out.metrics = registry.snapshot();
   return out;
 }
 
@@ -75,6 +82,7 @@ int main() {
   std::printf(
       "TCP incast / minimum-window pathology (paper §2.1 motivation)\n");
   std::printf("256 KB from N senders to one 10G host, shallow buffers\n\n");
+  telemetry::RunReport report{"incast_pathology"};
   std::printf("%-10s %-12s %-14s %-14s %-12s %-10s\n", "senders",
               "drop-rate", "makespan(ms)", "agg-Gbps", "RTOs", "completed");
   for (const int n : {2, 4, 8, 16, 32, 48}) {
@@ -83,6 +91,17 @@ int main() {
                 o.drop_rate, o.makespan_ms, o.aggregate_goodput_gbps,
                 static_cast<unsigned long long>(o.timeouts), o.completed);
     std::fflush(stdout);
+    const std::string row = "senders" + std::to_string(n);
+    report.set(row + ".drop_rate", o.drop_rate);
+    report.set(row + ".makespan_ms", o.makespan_ms);
+    report.set(row + ".aggregate_goodput_gbps", o.aggregate_goodput_gbps);
+    report.set(row + ".timeouts", o.timeouts);
+    report.set(row + ".completed", static_cast<std::int64_t>(o.completed));
+    report.add_metrics(o.metrics, row + ".metrics");
+  }
+  const std::string report_path = "incast_report.json";
+  if (report.write(report_path)) {
+    std::printf("\nrun report: %s\n", report_path.c_str());
   }
   std::printf(
       "\nReading: as senders grow, the per-sender fair share falls below\n"

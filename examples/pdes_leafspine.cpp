@@ -7,12 +7,22 @@
 // cross-partition messages).
 //
 //   ./build/examples/pdes_leafspine
+//
+// Set ESIM_TELEMETRY=1 to additionally publish per-partition metrics and
+// a Chrome trace (pdes_leafspine_report.json / pdes_leafspine_trace.json).
+// Telemetry observes the run without changing it: event counts and sync
+// rounds are identical either way, only wall clock can differ.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/full_builder.h"
 #include "core/pdes_builder.h"
+#include "telemetry/metrics.h"
+#include "telemetry/report.h"
+#include "telemetry/trace.h"
 #include "workload/generator.h"
 
 using namespace esim;  // NOLINT
@@ -34,12 +44,20 @@ core::NetworkConfig leaf_spine(std::uint32_t n) {
 int main() {
   const std::uint32_t tors = 8;
   const auto duration = sim::SimTime::from_ms(2);
-  std::printf("leaf-spine: %u ToRs x %u spines, %u hosts, 2ms simulated\n\n",
-              tors, tors, tors * 4);
+  const bool telemetry_on = std::getenv("ESIM_TELEMETRY") != nullptr;
+  std::printf("leaf-spine: %u ToRs x %u spines, %u hosts, 2ms simulated%s\n\n",
+              tors, tors, tors * 4,
+              telemetry_on ? " (telemetry on)" : "");
+
+  telemetry::RunReport report{"pdes_leafspine"};
 
   // --- sequential reference ---
   {
+    // Registry before the simulator: its flushers capture the sim, so the
+    // sim must be destroyed first (and the snapshot taken before that).
+    telemetry::Registry registry;
     sim::Simulator sim{99};
+    if (telemetry_on) sim.set_telemetry(&registry, "seq");
     auto net = core::build_full_network(sim, leaf_spine(tors));
     auto sizes = workload::mini_web_distribution();
     workload::UniformTraffic matrix{net.spec.total_hosts()};
@@ -57,6 +75,9 @@ int main() {
     std::printf("sequential : %.3fs wall, %llu events (%.0f ev/s)\n", wall,
                 static_cast<unsigned long long>(sim.events_executed()),
                 sim.events_executed() / wall);
+    report.set("sequential.wall_seconds", wall);
+    report.set("sequential.events_executed", sim.events_executed());
+    if (telemetry_on) report.add_metrics(registry.snapshot());
   }
 
   // --- conservative PDES over 4 partitions ---
@@ -65,7 +86,13 @@ int main() {
     ecfg.num_partitions = 4;
     ecfg.lookahead = sim::SimTime::from_us(1);
     ecfg.seed = 99;
+    telemetry::Registry registry;
+    telemetry::TraceSession trace;
     sim::ParallelEngine engine{ecfg};
+    if (telemetry_on) {
+      engine.set_telemetry(&registry);  // before components are built
+      trace.start();
+    }
     auto net = core::build_leaf_spine_partitioned(engine, leaf_spine(tors));
     auto sizes = workload::mini_web_distribution();
     workload::UniformTraffic matrix{net.spec.total_hosts()};
@@ -99,6 +126,21 @@ int main() {
                 static_cast<unsigned long long>(st.sync_rounds),
                 static_cast<unsigned long long>(st.cross_messages),
                 static_cast<unsigned long long>(net.cross_partition_links));
+    report.set("pdes.wall_seconds", wall);
+    report.set("pdes.events_executed", st.events_executed);
+    report.set("pdes.sync_rounds", st.sync_rounds);
+    report.set("pdes.cross_messages", st.cross_messages);
+    report.set("pdes.cross_partition_links", net.cross_partition_links);
+    if (telemetry_on) {
+      trace.stop();
+      report.add_metrics(registry.snapshot());
+      const std::string report_path = "pdes_leafspine_report.json";
+      const std::string trace_path = "pdes_leafspine_trace.json";
+      if (report.write(report_path) && trace.write_chrome_json(trace_path)) {
+        std::printf("\ntelemetry: wrote %s and %s\n", report_path.c_str(),
+                    trace_path.c_str());
+      }
+    }
     std::printf(
         "\nOn densely meshed fabrics most ToR<->spine links cross\n"
         "partitions, so the window-barrier engine synchronizes every\n"

@@ -14,13 +14,25 @@
 #include <string>
 
 #include "core/experiment.h"
+#include "core/run_report.h"
 #include "ml/serialize.h"
 #include "stats/distance.h"
+#include "telemetry/trace.h"
 
 using namespace esim;  // NOLINT
 
 int main() {
+  // Record everything: a Chrome trace of the whole workflow (experiment
+  // phase spans + per-inference spans from the approximated clusters) and
+  // a structured run report. Telemetry does not change the simulation.
+  // The ring is sized above the ~80k inference spans the hybrid run emits
+  // so the early phase spans survive to serialization.
+  telemetry::TraceSession trace{
+      telemetry::TraceSession::Config{.events_per_thread = 1 << 18}};
+  trace.start();
+
   core::ExperimentConfig cfg;
+  cfg.telemetry = true;
   cfg.net.spec.clusters = 2;  // training topology
   cfg.net.spec.tors_per_cluster = 2;
   cfg.net.spec.aggs_per_cluster = 2;
@@ -89,5 +101,25 @@ int main() {
               hybrid.wall_seconds > 0
                   ? full.wall_seconds / hybrid.wall_seconds
                   : 0.0);
+
+  trace.stop();
+  telemetry::RunReport report{"train_and_approximate"};
+  core::add_experiment_config(report, cfg, run_spec);
+  report.set("train.boundary_records",
+             static_cast<std::uint64_t>(models.boundary_records));
+  report.set("train.ingress.drop_accuracy",
+             models.ingress_report.drop_accuracy);
+  report.set("train.egress.drop_accuracy", models.egress_report.drop_accuracy);
+  core::add_run_result(report, "full", full);
+  core::add_run_result(report, "hybrid", hybrid);
+  if (!full.rtt_cdf.empty() && !hybrid.rtt_cdf.empty()) {
+    report.set("distance.ks", stats::ks_distance(full.rtt_cdf,
+                                                 hybrid.rtt_cdf));
+  }
+  const std::string report_path = "train_and_approximate_report.json";
+  const std::string trace_path = "train_and_approximate_trace.json";
+  if (report.write(report_path) && trace.write_chrome_json(trace_path)) {
+    std::printf("wrote %s and %s\n", report_path.c_str(), trace_path.c_str());
+  }
   return 0;
 }

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the default and asan-ubsan presets and runs the full test suite
-# under both. This is the gate the FES small-buffer-callback and
-# generation-slot code must pass: ASan catches lifetime bugs in the inline
-# storage, UBSan catches misaligned placement-new and signed overflow.
+# under both, then builds the tsan preset and runs the threaded tests
+# (ParallelEngine, PDES networks, telemetry) under ThreadSanitizer. ASan
+# catches lifetime bugs in the FES inline storage, UBSan misaligned
+# placement-new and signed overflow, TSan races between PDES partitions —
+# including concurrent logging and shared telemetry instruments.
 #
 # Usage: scripts/check.sh [-jN]
 set -euo pipefail
@@ -21,5 +23,13 @@ for preset in default asan-ubsan; do
   echo "=== preset: ${preset} — test ==="
   ctest --preset "${preset}" "${jobs}"
 done
+
+echo "=== preset: tsan — configure ==="
+cmake --preset tsan
+echo "=== preset: tsan — build ==="
+cmake --build --preset tsan "${jobs}"
+echo "=== preset: tsan — test (threaded suites) ==="
+ctest --preset tsan "${jobs}" -R \
+  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace'
 
 echo "All presets passed."

@@ -1,7 +1,11 @@
 #include "core/approx_cluster.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace esim::core {
 
@@ -28,6 +32,26 @@ ApproxCluster::ApproxCluster(sim::Simulator& sim, std::string name,
                      DeliverySerializer{config_.port_bandwidth_bps});
   host_ports_.assign(config_.spec.hosts_per_cluster(),
                      DeliverySerializer{config_.port_bandwidth_bps});
+  if (auto* r = sim.telemetry()) {
+    m_inferences_ = r->counter("approx.inferences");
+    m_macro_transitions_ = r->counter("approx.macro_transitions");
+    m_inference_ns_ = r->histogram("approx.inference_ns");
+    auto* drops = r->counter("approx.predicted_drops");
+    auto* backlog = r->counter("approx.backlog_drops");
+    auto* egress = r->counter("approx.egress_packets");
+    auto* ingress = r->counter("approx.ingress_packets");
+    auto* intra = r->counter("approx.intra_packets");
+    auto* conflicts = r->counter("approx.conflicts_resolved");
+    r->add_flusher(
+        [this, drops, backlog, egress, ingress, intra, conflicts] {
+          drops->set(stats_.predicted_drops);
+          backlog->set(stats_.backlog_drops);
+          egress->set(stats_.egress_packets);
+          ingress->set(stats_.ingress_packets);
+          intra->set(stats_.intra_packets);
+          conflicts->set(stats_.conflicts_resolved);
+        });
+  }
 }
 
 void ApproxCluster::attach_core(std::uint32_t index,
@@ -52,7 +76,13 @@ void ApproxCluster::attach_host(net::HostId id, tcp::Host* host) {
 
 void ApproxCluster::start() {
   schedule_in(macro_.window(), [this] {
+    const approx::MacroState before = macro_.state();
     macro_.advance_window();
+    if (macro_.state() != before) {
+      if (m_macro_transitions_ != nullptr) m_macro_transitions_->inc();
+      telemetry::trace_instant("approx.macro_transition",
+                               static_cast<std::int64_t>(macro_.state()));
+    }
     start();
   });
 }
@@ -73,8 +103,23 @@ void ApproxCluster::handle_packet(Packet pkt) {
   approx::FeatureExtractor& extractor =
       egress ? egress_features_ : ingress_features_;
 
-  const auto features = extractor.extract(pkt, now(), macro_.state());
-  const auto prediction = model.predict(features);
+  approx::MicroModel::Prediction prediction;
+  if (m_inferences_ != nullptr) {
+    telemetry::Span span{"approx.inference"};
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto features = extractor.extract(pkt, now(), macro_.state());
+    prediction = model.predict(features);
+    m_inferences_->inc();
+    // Wall-clock inference cost; virtual time is unaffected.
+    m_inference_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+  } else {
+    telemetry::Span span{"approx.inference"};
+    const auto features = extractor.extract(pkt, now(), macro_.state());
+    prediction = model.predict(features);
+  }
   const double latency =
       std::max(prediction.latency_seconds, config_.min_latency_s);
 

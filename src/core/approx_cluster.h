@@ -31,6 +31,11 @@
 #include "sim/component.h"
 #include "tcp/host.h"
 
+namespace esim::telemetry {
+class Counter;
+class Histogram;
+}
+
 namespace esim::core {
 
 /// One approximated cluster fabric.
@@ -111,6 +116,12 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   std::vector<DeliverySerializer> core_ports_;  // per core
   std::vector<DeliverySerializer> host_ports_;  // per cluster host offset
   Stats stats_;
+  // Aggregate approx.* series; outcome totals are published by a
+  // registry flusher (pull), only the per-inference series are pushed.
+  // Null when telemetry is off.
+  telemetry::Counter* m_inferences_ = nullptr;
+  telemetry::Counter* m_macro_transitions_ = nullptr;
+  telemetry::Histogram* m_inference_ns_ = nullptr;
 };
 
 }  // namespace esim::core

@@ -4,11 +4,48 @@
 #include <stdexcept>
 
 #include "approx/dataset.h"
+#include "telemetry/trace.h"
 #include "workload/generator.h"
 
 namespace esim::core {
 
 namespace {
+
+void accumulate(stats::PacketCounter& into, const net::Link* link) {
+  if (link == nullptr) return;
+  into.sent += link->counter().sent;
+  into.delivered += link->counter().delivered;
+  into.dropped += link->counter().dropped;
+}
+
+RegionCounters collect_regions(const BuiltNetwork& network) {
+  RegionCounters r;
+  for (const auto* l : network.host_uplinks) accumulate(r.host_uplinks, l);
+  for (const auto* l : network.host_downlinks) {
+    accumulate(r.host_downlinks, l);
+  }
+  for (const auto& [cluster, l] : network.intra_fabric_links) {
+    accumulate(r.intra_fabric, l);
+  }
+  for (const auto& att : network.core_links) {
+    accumulate(r.core, att.up);
+    accumulate(r.core, att.down);
+  }
+  return r;
+}
+
+RegionCounters collect_regions(const HybridNetwork& network) {
+  RegionCounters r;
+  for (const auto* l : network.host_uplinks) accumulate(r.host_uplinks, l);
+  for (const auto* l : network.host_downlinks) {
+    accumulate(r.host_downlinks, l);
+  }
+  for (const auto& att : network.core_links) {
+    accumulate(r.core, att.up);
+    accumulate(r.core, att.down);
+  }
+  return r;
+}
 
 std::unique_ptr<workload::FlowSizeDistribution> make_sizes(
     WorkloadScale scale) {
@@ -65,6 +102,7 @@ approx::BoundaryTaps make_boundary_taps(const BuiltNetwork& network,
 }
 
 BoundaryTrace record_boundary_trace(const ExperimentConfig& config) {
+  telemetry::Span phase{"experiment.record_trace"};
   const net::ClosSpec spec = resolve_train_spec(config);
 
   sim::Simulator sim{config.seed};
@@ -100,6 +138,7 @@ BoundaryTrace record_boundary_trace(const ExperimentConfig& config) {
 
 TrainedModels train_from_trace(const ExperimentConfig& config,
                                const BoundaryTrace& trace) {
+  telemetry::Span phase{"experiment.train"};
   TrainedModels out;
   out.boundary_records = trace.records.size();
 
@@ -130,7 +169,10 @@ TrainedModels train_cluster_models(const ExperimentConfig& config) {
 
 RunResult run_full_simulation(const ExperimentConfig& config,
                               const net::ClosSpec& spec) {
+  telemetry::Span phase{"experiment.run_full"};
+  telemetry::Registry registry;  // outlives the sim that publishes into it
   sim::Simulator sim{config.seed + 1};
+  if (config.telemetry) sim.set_telemetry(&registry);
   NetworkConfig net_cfg = config.net;
   net_cfg.spec = spec;
   auto network = build_full_network(sim, net_cfg);
@@ -169,13 +211,18 @@ RunResult run_full_simulation(const ExperimentConfig& config,
     result.mean_fct_seconds =
         sum / static_cast<double>(result.flows_completed);
   }
+  result.regions = collect_regions(network);
+  if (config.telemetry) result.metrics = registry.snapshot();
   return result;
 }
 
 RunResult run_hybrid_simulation(const ExperimentConfig& config,
                                 const net::ClosSpec& spec,
                                 const TrainedModels& models) {
+  telemetry::Span phase{"experiment.run_hybrid"};
+  telemetry::Registry registry;  // outlives the sim that publishes into it
   sim::Simulator sim{config.seed + 1};
+  if (config.telemetry) sim.set_telemetry(&registry);
   HybridConfig hcfg;
   hcfg.net = config.net;
   hcfg.net.spec = spec;
@@ -234,6 +281,8 @@ RunResult run_hybrid_simulation(const ExperimentConfig& config,
         cluster->stats().conflicts_resolved;
     result.approx_stats.backlog_drops += cluster->stats().backlog_drops;
   }
+  result.regions = collect_regions(network);
+  if (config.telemetry) result.metrics = registry.snapshot();
   return result;
 }
 

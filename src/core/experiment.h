@@ -17,6 +17,8 @@
 #include "core/full_builder.h"
 #include "core/hybrid_builder.h"
 #include "stats/cdf.h"
+#include "stats/collectors.h"
+#include "telemetry/metrics.h"
 
 namespace esim::core {
 
@@ -51,6 +53,12 @@ struct ExperimentConfig {
   approx::MacroClassifier::Config macro;
   /// Runtime behaviour of approximated clusters.
   ApproxCluster::Config approx;
+  /// When true the measurement runs install a telemetry::Registry on the
+  /// engine and return its snapshot in RunResult::metrics. Off by
+  /// default: the run itself is bit-identical either way (telemetry
+  /// never touches simulation state), but the groundtruth timing runs
+  /// should not pay even the counter updates.
+  bool telemetry = false;
 };
 
 /// The trained pair of boundary models plus training diagnostics.
@@ -87,6 +95,16 @@ TrainedModels train_from_trace(const ExperimentConfig& config,
 /// Steps 1–2 together (record, then train).
 TrainedModels train_cluster_models(const ExperimentConfig& config);
 
+/// Per-region packet totals summed over the build's links (and, for
+/// `core`, the agg<->core attachments). Regions that do not exist in a
+/// given build (e.g. approximated downlinks) stay zero.
+struct RegionCounters {
+  stats::PacketCounter host_uplinks;
+  stats::PacketCounter host_downlinks;
+  stats::PacketCounter intra_fabric;
+  stats::PacketCounter core;
+};
+
 /// Measurements from one simulation run.
 struct RunResult {
   double wall_seconds = 0.0;
@@ -98,6 +116,11 @@ struct RunResult {
   double mean_fct_seconds = 0.0;
   /// Hybrid runs only: totals across ApproxClusters.
   ApproxCluster::Stats approx_stats;
+  /// Link-level totals by network region (always collected; the Links
+  /// keep these counters regardless of telemetry).
+  RegionCounters regions;
+  /// Registry snapshot; empty unless ExperimentConfig::telemetry.
+  telemetry::Snapshot metrics;
 };
 
 /// Step 4a: the groundtruth run of `spec` at full fidelity.

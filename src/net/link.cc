@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace esim::net {
 
 Link::Link(sim::Simulator& sim, std::string name, const Config& config,
@@ -14,6 +16,12 @@ Link::Link(sim::Simulator& sim, std::string name, const Config& config,
   }
   if (dst_ == nullptr) {
     throw std::invalid_argument("Link: null destination");
+  }
+  if (auto* r = sim.telemetry()) {
+    m_sent_ = r->counter("net.link.sent");
+    m_delivered_ = r->counter("net.link.delivered");
+    m_dropped_ = r->counter("net.link.dropped");
+    m_queue_depth_ = r->histogram("net.link.queue_depth_bytes");
   }
 }
 
@@ -26,9 +34,14 @@ sim::SimTime Link::tx_time(std::uint32_t bytes) const {
 
 void Link::send(Packet pkt) {
   ++counter_.sent;
+  if (m_sent_ != nullptr) {
+    m_sent_->inc();
+    m_queue_depth_->record(queued_bytes_);
+  }
   const std::uint32_t size = pkt.size_bytes();
   if (queued_bytes_ + size > config_.queue_capacity_bytes) {
     ++counter_.dropped;
+    if (m_dropped_ != nullptr) m_dropped_->inc();
     if (on_drop) on_drop(pkt);
     return;
   }
@@ -58,6 +71,7 @@ void Link::finish_transmit(Packet pkt) {
   const sim::SimTime arrive_at = now() + config_.propagation;
   if (on_transmit) on_transmit(pkt, arrive_at);
   ++counter_.delivered;
+  if (m_delivered_ != nullptr) m_delivered_->inc();
   if (remote_) {
     remote_(arrive_at, [dst = dst_, pkt = std::move(pkt)]() mutable {
       dst->handle_packet(std::move(pkt));

@@ -17,6 +17,11 @@
 #include "sim/component.h"
 #include "stats/collectors.h"
 
+namespace esim::telemetry {
+class Counter;
+class Histogram;
+}
+
 namespace esim::net {
 
 /// Anything that can accept a packet from a Link (switches, hosts, and
@@ -105,6 +110,12 @@ class Link : public sim::Component {
   bool busy_ = false;
   stats::PacketCounter counter_;
   RemoteScheduler remote_;
+  // Aggregate per-simulator series (net.link.*), shared by every Link on
+  // the engine. Null when telemetry is off; captured once at construction.
+  telemetry::Counter* m_sent_ = nullptr;
+  telemetry::Counter* m_delivered_ = nullptr;
+  telemetry::Counter* m_dropped_ = nullptr;
+  telemetry::Histogram* m_queue_depth_ = nullptr;
 };
 
 }  // namespace esim::net

@@ -3,13 +3,21 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/metrics.h"
+
 namespace esim::net {
 
 Switch::Switch(sim::Simulator& sim, std::string name, SwitchId id,
                sim::SimTime processing_delay)
     : Component(sim, std::move(name)),
       id_{id},
-      processing_delay_{processing_delay} {}
+      processing_delay_{processing_delay} {
+  if (auto* r = sim.telemetry()) {
+    m_received_ = r->counter("net.switch.received");
+    m_forwarded_ = r->counter("net.switch.forwarded");
+    m_dropped_ = r->counter("net.switch.dropped_no_route");
+  }
+}
 
 std::uint32_t Switch::add_port(Link* link) {
   if (link == nullptr) throw std::invalid_argument("Switch: null port link");
@@ -43,6 +51,7 @@ std::uint32_t Switch::route_port(const FlowKey& flow) const {
 
 void Switch::handle_packet(Packet pkt) {
   ++counter_.sent;
+  if (m_received_ != nullptr) m_received_->inc();
   if (processing_delay_ > sim::SimTime{}) {
     schedule_in(processing_delay_, [this, pkt = std::move(pkt)]() mutable {
       forward(std::move(pkt));
@@ -56,11 +65,14 @@ void Switch::forward(Packet pkt) {
   if (pkt.flow.dst_host >= routes_.size() ||
       routes_[pkt.flow.dst_host].empty()) {
     ++counter_.dropped;
-    log(sim::LogLevel::Warn, "no route, dropping " + pkt.to_string());
+    if (m_dropped_ != nullptr) m_dropped_->inc();
+    ESIM_LOG(*this, sim::LogLevel::Warn,
+             "no route, dropping " + pkt.to_string());
     return;
   }
   const std::uint32_t port = route_port(pkt.flow);
   ++counter_.delivered;
+  if (m_forwarded_ != nullptr) m_forwarded_->inc();
   ports_[port]->send(std::move(pkt));
 }
 

@@ -16,6 +16,10 @@
 #include "sim/component.h"
 #include "stats/collectors.h"
 
+namespace esim::telemetry {
+class Counter;
+}
+
 namespace esim::net {
 
 /// Store-and-forward output-queued switch.
@@ -63,6 +67,10 @@ class Switch : public sim::Component, public PacketHandler {
   std::vector<Link*> ports_;
   std::vector<std::vector<std::uint32_t>> routes_;  // dst host -> ports
   stats::PacketCounter counter_;
+  // Aggregate net.switch.* series; null when telemetry is off.
+  telemetry::Counter* m_received_ = nullptr;
+  telemetry::Counter* m_forwarded_ = nullptr;
+  telemetry::Counter* m_dropped_ = nullptr;
 };
 
 }  // namespace esim::net

@@ -39,6 +39,18 @@ class Component {
   /// at construction so component draws are order-independent.
   Rng& rng() { return rng_; }
 
+  /// True if a message at `level` would be emitted (the ESIM_LOG guard).
+  bool log_enabled(LogLevel level) const {
+    return sim_.logger().enabled(level);
+  }
+
+  /// Emits a log message tagged with this component's name. Prefer
+  /// ESIM_LOG(*this, level, expr) so the message is only built when
+  /// enabled.
+  void log(LogLevel level, const std::string& message) {
+    sim_.logger().log(level, now(), name_, message);
+  }
+
  protected:
   /// Schedules a member action after `delay`.
   EventHandle schedule_in(SimTime delay, EventFn fn) {
@@ -48,11 +60,6 @@ class Component {
   /// Schedules a member action at absolute time `t`.
   EventHandle schedule_at(SimTime t, EventFn fn) {
     return sim_.schedule_at(t, std::move(fn));
-  }
-
-  /// Emits a log message tagged with this component's name.
-  void log(LogLevel level, const std::string& message) {
-    sim_.logger().log(level, now(), name_, message);
   }
 
  private:

@@ -1,6 +1,7 @@
 #include "sim/logger.h"
 
 #include <cstdio>
+#include <mutex>
 
 namespace esim::sim {
 
@@ -20,11 +21,23 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+namespace {
+
+// One process-wide emission lock: PDES partitions own separate Loggers but
+// interleave on stderr (and tests share sink closures across partitions).
+std::mutex& emit_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
 void Logger::log(LogLevel level, SimTime now, const std::string& source,
                  const std::string& message) {
   if (!enabled(level)) return;
   std::string line = "[" + now.to_string() + "] " + log_level_name(level) +
                      " " + source + ": " + message;
+  std::lock_guard lock{emit_mutex()};
   if (sink_) {
     sink_(line);
   } else {

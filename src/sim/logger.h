@@ -3,6 +3,20 @@
 // Logging is off by default (level Warn) so benchmark runs pay only a level
 // check per call site. Messages are emitted with the current simulation
 // time, which the Simulator injects.
+//
+// Thread safety: ParallelEngine partitions each own a Logger but share the
+// process's stderr (and tests sometimes share one sink closure across
+// partitions), so *emission* — formatting handed to the sink, or the
+// stderr write — is serialized under one process-wide mutex. Level checks
+// stay unsynchronized loads: configure levels before starting a parallel
+// run.
+//
+// Use the ESIM_LOG macro at call sites so the message expression (string
+// concatenation, to_string, ...) is never evaluated when the level is
+// disabled:
+//
+//   ESIM_LOG(*this, sim::LogLevel::Debug,
+//            "no route for " + pkt.to_string());   // not built when off
 #pragma once
 
 #include <functional>
@@ -29,11 +43,13 @@ class Logger {
   LogLevel level() const { return level_; }
 
   /// True if a message at `level` would be emitted (guard for expensive
-  /// formatting at call sites).
+  /// formatting at call sites; ESIM_LOG checks this for you).
   bool enabled(LogLevel level) const { return level <= level_; }
 
-  /// Redirects output; the sink receives fully formatted lines. Passing an
-  /// empty function restores the default stderr sink.
+  /// Redirects output; the sink receives fully formatted lines, one call
+  /// at a time (emission is serialized process-wide, so a sink shared by
+  /// several Loggers needs no locking of its own). Passing an empty
+  /// function restores the default stderr sink.
   void set_sink(std::function<void(const std::string&)> sink) {
     sink_ = std::move(sink);
   }
@@ -48,3 +64,13 @@ class Logger {
 };
 
 }  // namespace esim::sim
+
+/// Logs through any target exposing log_enabled(level) and log(level, msg)
+/// (sim::Component does). The message expression is evaluated only when
+/// the level is enabled, so disabled-level calls allocate nothing.
+#define ESIM_LOG(target, level, message_expr)          \
+  do {                                                 \
+    if ((target).log_enabled(level)) {                 \
+      (target).log((level), (message_expr));           \
+    }                                                  \
+  } while (0)

@@ -8,11 +8,17 @@
 #include <stdexcept>
 #include <thread>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace esim::sim {
 
 void Partition::post(CrossMessage m) {
   std::lock_guard lock{inbox_mu_};
   inbox_.push_back(std::move(m));
+  if (inbox_depth_ != nullptr) {
+    inbox_depth_->set(static_cast<std::int64_t>(inbox_.size()));
+  }
 }
 
 std::size_t Partition::drain_inbox() {
@@ -20,7 +26,9 @@ std::size_t Partition::drain_inbox() {
   {
     std::lock_guard lock{inbox_mu_};
     batch.swap(inbox_);
+    if (inbox_depth_ != nullptr) inbox_depth_->set(0);
   }
+  if (drained_ != nullptr) drained_->inc(batch.size());
   // Deterministic insertion order regardless of which sender posted first.
   std::sort(batch.begin(), batch.end(),
             [](const CrossMessage& a, const CrossMessage& b) {
@@ -52,6 +60,36 @@ ParallelEngine::ParallelEngine(Config config)
 }
 
 ParallelEngine::~ParallelEngine() = default;
+
+void ParallelEngine::set_telemetry(telemetry::Registry* registry) {
+  telemetry_ = registry;
+  sync_wait_ns_.clear();
+  if (registry == nullptr) {
+    for (auto& p : partitions_) p->set_telemetry(nullptr, nullptr);
+    return;
+  }
+  auto* rounds = registry->counter("pdes.sync_rounds");
+  auto* crossings = registry->counter("pdes.cross_messages");
+  auto* executed = registry->counter("pdes.events_executed");
+  auto* overhead = registry->counter("pdes.modeled_overhead_us");
+  registry->add_flusher([this, rounds, crossings, executed, overhead] {
+    rounds->set(stats_.sync_rounds);
+    crossings->set(stats_.cross_messages);
+    std::uint64_t events = 0;
+    for (auto& p : partitions_) events += p->sim().events_executed();
+    executed->set(events);
+    overhead->set(
+        static_cast<std::uint64_t>(stats_.modeled_overhead_seconds * 1e6));
+  });
+  sync_wait_ns_.reserve(partitions_.size());
+  for (std::uint32_t i = 0; i < num_partitions(); ++i) {
+    const std::string prefix = "pdes.p" + std::to_string(i);
+    partitions_[i]->sim().set_telemetry(registry, prefix);
+    partitions_[i]->set_telemetry(registry->gauge(prefix + ".inbox_depth"),
+                                  registry->counter(prefix + ".inbox_drained"));
+    sync_wait_ns_.push_back(registry->counter(prefix + ".sync_wait_ns"));
+  }
+}
 
 void ParallelEngine::send_cross(std::uint32_t from, std::uint32_t to,
                                 SimTime deliver_at, EventFn fn) {
@@ -99,6 +137,8 @@ void ParallelEngine::run_until(SimTime end) {
     const std::uint64_t msgs =
         round_messages_.exchange(0, std::memory_order_relaxed);
     stats_.cross_messages += msgs;
+    telemetry::trace_instant("pdes.sync_round",
+                             static_cast<std::int64_t>(msgs));
     // The terminating round executes no window: a real MPI run would not
     // pay a collective there, so charging it would inflate the modeled
     // overhead by one round per run_until call (Figure 1's denominator).
@@ -117,8 +157,16 @@ void ParallelEngine::run_until(SimTime end) {
 
   std::vector<std::exception_ptr> errors(P);
 
+  // Sync-wait accounting costs two steady_clock reads per round per
+  // partition; skip them entirely unless telemetry is installed.
+  telemetry::Counter* const* wait_counters =
+      sync_wait_ns_.size() == P ? sync_wait_ns_.data() : nullptr;
+
   auto worker = [&](std::uint32_t idx) {
     Partition& part = *partitions_[idx];
+    if (auto* trace = telemetry::TraceSession::active()) {
+      trace->set_thread_name("partition " + std::to_string(idx));
+    }
     bool failed = false;
     for (;;) {
       std::int64_t local_next = kNever;
@@ -140,10 +188,20 @@ void ParallelEngine::run_until(SimTime end) {
              !min_next.compare_exchange_weak(cur, local_next,
                                              std::memory_order_relaxed)) {
       }
-      window_barrier.arrive_and_wait();
+      if (wait_counters != nullptr) {
+        const auto wait_start = std::chrono::steady_clock::now();
+        window_barrier.arrive_and_wait();
+        wait_counters[idx]->inc(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - wait_start)
+                .count()));
+      } else {
+        window_barrier.arrive_and_wait();
+      }
       if (done) break;
       if (!failed) {
         try {
+          telemetry::Span window_span{"pdes.window"};
           part.sim().run_until(window_end);
         } catch (...) {
           errors[idx] = std::current_exception();

@@ -25,6 +25,12 @@
 #include "sim/simulator.h"
 #include "sim/time.h"
 
+namespace esim::telemetry {
+class Counter;
+class Gauge;
+class Registry;
+}
+
 namespace esim::sim {
 
 /// A timestamped closure crossing a partition boundary.
@@ -59,11 +65,21 @@ class Partition {
   /// barrier (no concurrent post).
   std::size_t drain_inbox();
 
+  /// Publishes inbox depth / drain totals (installed by
+  /// ParallelEngine::set_telemetry; both null when telemetry is off).
+  void set_telemetry(telemetry::Gauge* inbox_depth,
+                     telemetry::Counter* drained) {
+    inbox_depth_ = inbox_depth;
+    drained_ = drained;
+  }
+
  private:
   std::uint32_t index_;
   Simulator sim_;
   std::mutex inbox_mu_;
   std::vector<CrossMessage> inbox_;
+  telemetry::Gauge* inbox_depth_ = nullptr;  ///< mailbox high-water mark
+  telemetry::Counter* drained_ = nullptr;
 };
 
 /// Window-barrier conservative PDES engine.
@@ -124,6 +140,20 @@ class ParallelEngine {
   /// Statistics accumulated across run_until calls.
   const Stats& stats() const { return stats_; }
 
+  /// Installs a metrics registry (or nullptr to disable). Publishes the
+  /// engine aggregates (`pdes.sync_rounds`, `.cross_messages`,
+  /// `.events_executed`, `.modeled_overhead_us`) via a snapshot flusher,
+  /// installs per-partition engine metrics under `pdes.p<i>.*` (event
+  /// accounting, mailbox depth, messages drained, wall nanoseconds spent
+  /// waiting at the window barrier), and — while a telemetry TraceSession
+  /// is active — emits one `pdes.window` span per partition per sync
+  /// round plus a `pdes.sync_round` instant per round. Call before
+  /// building components in the partitions.
+  void set_telemetry(telemetry::Registry* registry);
+
+  /// The installed registry, or nullptr.
+  telemetry::Registry* telemetry() const { return telemetry_; }
+
  private:
   void spin_overhead(double microseconds);
 
@@ -132,6 +162,8 @@ class ParallelEngine {
   std::vector<std::atomic<std::uint64_t>> send_seq_;
   std::atomic<std::uint64_t> round_messages_{0};
   Stats stats_;
+  telemetry::Registry* telemetry_ = nullptr;
+  std::vector<telemetry::Counter*> sync_wait_ns_;  ///< per partition
 };
 
 }  // namespace esim::sim

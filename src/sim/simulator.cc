@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/component.h"
+#include "telemetry/metrics.h"
 
 namespace esim::sim {
 
@@ -54,6 +55,22 @@ void Simulator::run_until(SimTime end) {
     step();
   }
   if (now_ < end) now_ = end;
+}
+
+void Simulator::set_telemetry(telemetry::Registry* registry,
+                              const std::string& prefix) {
+  telemetry_ = registry;
+  if (registry == nullptr) return;
+  auto* executed = registry->counter(prefix + ".events_executed");
+  auto* scheduled = registry->counter(prefix + ".events_scheduled");
+  auto* pending = registry->gauge(prefix + ".events_pending");
+  auto* heap = registry->gauge(prefix + ".fes_heap_entries");
+  registry->add_flusher([this, executed, scheduled, pending, heap] {
+    executed->set(events_executed_);
+    scheduled->set(queue_.total_scheduled());
+    pending->set(static_cast<std::int64_t>(queue_.size()));
+    heap->set(static_cast<std::int64_t>(queue_.heap_entries()));
+  });
 }
 
 Component* Simulator::find_component(const std::string& name) const {

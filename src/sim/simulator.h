@@ -17,6 +17,10 @@
 #include "sim/random.h"
 #include "sim/time.h"
 
+namespace esim::telemetry {
+class Registry;
+}
+
 namespace esim::sim {
 
 class Component;
@@ -83,6 +87,20 @@ class Simulator {
   /// Diagnostics logger shared by all components.
   Logger& logger() { return logger_; }
 
+  /// Installs a metrics registry (telemetry on) or nullptr (off, the
+  /// default). Registers a pull-flusher publishing this engine's event
+  /// accounting under `<prefix>.events_executed`, `.events_scheduled`,
+  /// `.events_pending`, and `.fes_heap_entries`. Install *before*
+  /// building components: they capture instrument pointers at
+  /// construction. The registry must outlive every snapshot taken while
+  /// this simulator is alive.
+  void set_telemetry(telemetry::Registry* registry,
+                     const std::string& prefix = "sim");
+
+  /// The installed registry, or nullptr. Components check this once at
+  /// construction, never on the hot path.
+  telemetry::Registry* telemetry() const { return telemetry_; }
+
   /// Constructs a component in place, registers it under its name, and
   /// returns a non-owning pointer. The simulator owns the component.
   template <typename T, typename... Args>
@@ -108,6 +126,7 @@ class Simulator {
   EventQueue queue_;
   Rng rng_;
   Logger logger_;
+  telemetry::Registry* telemetry_ = nullptr;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
   std::vector<std::unique_ptr<Component>> components_;

@@ -45,8 +45,8 @@ void Host::handle_packet(net::Packet pkt) {
       if (on_accept) on_accept(*raw);
     } else {
       ++counter_.dropped;
-      log(sim::LogLevel::Debug,
-          "no connection for " + pkt.to_string() + ", dropping");
+      ESIM_LOG(*this, sim::LogLevel::Debug,
+               "no connection for " + pkt.to_string() + ", dropping");
       return;
     }
   }

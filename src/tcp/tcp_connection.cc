@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics.h"
+
 namespace esim::tcp {
 
 using net::Packet;
@@ -57,6 +59,14 @@ TcpConnection::TcpConnection(TcpEndpoint& endpoint, net::FlowKey key,
         "TcpConnection: payload too large for 32-bit sequence space");
   }
   data_end_ = 1 + static_cast<std::uint32_t>(payload_bytes);
+  if (auto* r = endpoint_.tcp_sim().telemetry()) {
+    m_segments_ = r->counter("tcp.segments_sent");
+    m_retransmissions_ = r->counter("tcp.retransmissions");
+    m_timeouts_ = r->counter("tcp.timeouts");
+    m_fast_recoveries_ = r->counter("tcp.fast_recoveries");
+    m_dup_acks_ = r->counter("tcp.dup_acks");
+    m_cwnd_ = r->histogram("tcp.cwnd_bytes");
+  }
 }
 
 TcpConnection::~TcpConnection() {
@@ -173,6 +183,7 @@ void TcpConnection::handle_sender_packet(const Packet& pkt) {
     on_new_ack(pkt);
   } else if (pkt.ack_seq == snd_una_ && flight_size() > 0) {
     ++stats_.dup_acks_received;
+    if (m_dup_acks_ != nullptr) m_dup_acks_->inc();
     on_dup_ack();
   }
 }
@@ -234,6 +245,10 @@ void TcpConnection::on_new_ack(const Packet& pkt) {
   maybe_send_fin();
   try_send();
 
+  if (m_cwnd_ != nullptr) {
+    m_cwnd_->record(static_cast<std::uint64_t>(cwnd_));
+  }
+
   if (flight_size() > 0 || (fin_sent_ && state_ != TcpState::Done)) {
     arm_rto();
   } else {
@@ -253,6 +268,7 @@ void TcpConnection::on_dup_ack() {
 
 void TcpConnection::enter_fast_recovery() {
   ++stats_.fast_recoveries;
+  if (m_fast_recoveries_ != nullptr) m_fast_recoveries_->inc();
   in_recovery_ = true;
   recover_ = snd_nxt_;
   const std::uint32_t flight = flight_size();
@@ -264,6 +280,7 @@ void TcpConnection::enter_fast_recovery() {
     endpoint_.tcp_transmit(make_packet(TcpFlag::Fin | TcpFlag::Ack,
                                        data_end_, 0));
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
   }
   arm_rto();
 }
@@ -294,7 +311,11 @@ void TcpConnection::send_segment(std::uint32_t seq, bool is_retransmission) {
   pkt.ack_seq = rcv_nxt_;
   endpoint_.tcp_transmit(std::move(pkt));
   ++stats_.segments_sent;
-  if (is_retransmission) ++stats_.retransmissions;
+  if (m_segments_ != nullptr) m_segments_->inc();
+  if (is_retransmission) {
+    ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
+  }
 }
 
 void TcpConnection::maybe_send_fin() {
@@ -313,11 +334,13 @@ void TcpConnection::maybe_send_fin() {
 void TcpConnection::on_rto() {
   rto_timer_ = {};
   ++stats_.timeouts;
+  if (m_timeouts_ != nullptr) m_timeouts_->inc();
   rto_.backoff();
 
   if (state_ == TcpState::SynSent) {
     endpoint_.tcp_transmit(make_packet(TcpFlag::Syn, 0, 0));
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
     arm_rto();
     return;
   }
@@ -332,6 +355,7 @@ void TcpConnection::on_rto() {
     endpoint_.tcp_transmit(
         make_packet(TcpFlag::Fin | TcpFlag::Ack, data_end_, 0));
     ++stats_.retransmissions;
+    if (m_retransmissions_ != nullptr) m_retransmissions_->inc();
     arm_rto();
     return;
   }

@@ -26,6 +26,11 @@
 #include "sim/simulator.h"
 #include "tcp/rto.h"
 
+namespace esim::telemetry {
+class Counter;
+class Histogram;
+}
+
 namespace esim::tcp {
 
 /// Services a TcpConnection needs from its owning host. Implemented by
@@ -206,6 +211,16 @@ class TcpConnection {
   bool sender_;
   TcpState state_ = TcpState::Closed;
   Stats stats_;
+
+  // Aggregate tcp.* series shared by every connection on the engine;
+  // connections are ephemeral, so totals must outlive them in the
+  // registry. Null when telemetry is off.
+  telemetry::Counter* m_segments_ = nullptr;
+  telemetry::Counter* m_retransmissions_ = nullptr;
+  telemetry::Counter* m_timeouts_ = nullptr;
+  telemetry::Counter* m_fast_recoveries_ = nullptr;
+  telemetry::Counter* m_dup_acks_ = nullptr;
+  telemetry::Histogram* m_cwnd_ = nullptr;
 
   // Sequence space: SYN occupies [0,1); payload occupies
   // [1, 1 + payload_bytes); FIN occupies one number after the payload.

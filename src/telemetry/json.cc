@@ -1,0 +1,436 @@
+#include "telemetry/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace esim::telemetry {
+
+std::int64_t Json::as_int() const {
+  switch (kind_) {
+    case Kind::Int:
+      return int_;
+    case Kind::Uint:
+      return static_cast<std::int64_t>(uint_);
+    case Kind::Double:
+      return static_cast<std::int64_t>(double_);
+    default:
+      return 0;
+  }
+}
+
+std::uint64_t Json::as_uint() const {
+  switch (kind_) {
+    case Kind::Int:
+      return static_cast<std::uint64_t>(int_);
+    case Kind::Uint:
+      return uint_;
+    case Kind::Double:
+      return static_cast<std::uint64_t>(double_);
+    default:
+      return 0;
+  }
+}
+
+double Json::as_double() const {
+  switch (kind_) {
+    case Kind::Int:
+      return static_cast<double>(int_);
+    case Kind::Uint:
+      return static_cast<double>(uint_);
+    case Kind::Double:
+      return double_;
+    default:
+      return 0.0;
+  }
+}
+
+std::size_t Json::size() const {
+  if (kind_ == Kind::Array) return items_.size();
+  if (kind_ == Kind::Object) return object_.size();
+  return 0;
+}
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::Null) kind_ = Kind::Array;
+  items_.push_back(std::move(v));
+}
+
+Json& Json::operator[](std::string_view key) {
+  if (kind_ == Kind::Null) kind_ = Kind::Object;
+  for (auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  object_.emplace_back(std::string{key}, Json{});
+  return object_.back().second;
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; null is the convention
+    out += "null";
+    return;
+  }
+  char buf[32];
+  // %.17g round-trips; strip to the shortest form that still does.
+  for (const int prec : {15, 16, 17}) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  out += buf;
+}
+
+void append_newline_indent(std::string& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out += '\n';
+  out.append(static_cast<std::size_t>(indent) * depth, ' ');
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::Null:
+      out += "null";
+      return;
+    case Kind::Bool:
+      out += bool_ ? "true" : "false";
+      return;
+    case Kind::Int:
+      out += std::to_string(int_);
+      return;
+    case Kind::Uint:
+      out += std::to_string(uint_);
+      return;
+    case Kind::Double:
+      append_double(out, double_);
+      return;
+    case Kind::String:
+      append_escaped(out, string_);
+      return;
+    case Kind::Array: {
+      if (items_.empty()) {
+        out += "[]";
+        return;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += ']';
+      return;
+    }
+    case Kind::Object: {
+      if (object_.empty()) {
+        out += "{}";
+        return;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_newline_indent(out, indent, depth + 1);
+        append_escaped(out, object_[i].first);
+        out += indent > 0 ? ": " : ":";
+        object_[i].second.dump_to(out, indent, depth + 1);
+      }
+      append_newline_indent(out, indent, depth);
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over a string_view cursor.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_{text} {}
+
+  std::optional<Json> parse_document() {
+    auto v = parse_value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    switch (text_[pos_]) {
+      case 'n':
+        return literal("null") ? std::optional<Json>{Json{}} : std::nullopt;
+      case 't':
+        return literal("true") ? std::optional<Json>{Json{true}}
+                               : std::nullopt;
+      case 'f':
+        return literal("false") ? std::optional<Json>{Json{false}}
+                                : std::nullopt;
+      case '"':
+        return parse_string();
+      case '[':
+        return parse_array();
+      case '{':
+        return parse_object();
+      default:
+        return parse_number();
+    }
+  }
+
+  std::optional<Json> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Json{std::move(out)};
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return std::nullopt;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out += esc;
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          const auto cp = parse_hex4();
+          if (!cp) return std::nullopt;
+          append_utf8(out, *cp);
+          break;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<std::uint32_t> parse_hex4() {
+    if (pos_ + 4 > text_.size()) return std::nullopt;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return std::nullopt;
+      }
+    }
+    // Combine a surrogate pair when one follows; lone surrogates become
+    // U+FFFD (trusted input never produces them).
+    if (v >= 0xD800 && v <= 0xDBFF && text_.substr(pos_, 2) == "\\u") {
+      pos_ += 2;
+      const auto lo = parse_hex4();
+      if (!lo) return std::nullopt;
+      if (*lo >= 0xDC00 && *lo <= 0xDFFF) {
+        return 0x10000 + ((v - 0xD800) << 10) + (*lo - 0xDC00);
+      }
+      return 0xFFFD;
+    }
+    if (v >= 0xD800 && v <= 0xDFFF) return 0xFFFD;
+    return v;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::optional<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") return std::nullopt;
+    if (integral) {
+      std::int64_t iv = 0;
+      const auto [p, ec] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), iv);
+      if (ec == std::errc{} && p == tok.data() + tok.size()) return Json{iv};
+      std::uint64_t uv = 0;
+      const auto [p2, ec2] =
+          std::from_chars(tok.data(), tok.data() + tok.size(), uv);
+      if (ec2 == std::errc{} && p2 == tok.data() + tok.size()) {
+        return Json{uv};
+      }
+      // Out-of-range integer literal: fall through to double.
+    }
+    double dv = 0;
+    const std::string owned{tok};  // sscanf needs a terminator
+    if (std::sscanf(owned.c_str(), "%lf", &dv) != 1) return std::nullopt;
+    return Json{dv};
+  }
+
+  std::optional<Json> parse_array() {
+    if (!consume('[')) return std::nullopt;
+    Json arr = Json::array();
+    if (consume(']')) return arr;
+    for (;;) {
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      if (consume(']')) return arr;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_object() {
+    if (!consume('{')) return std::nullopt;
+    Json obj = Json::object();
+    if (consume('}')) return obj;
+    for (;;) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) return std::nullopt;
+      auto v = parse_value();
+      if (!v) return std::nullopt;
+      obj[key->as_string()] = std::move(*v);
+      if (consume('}')) return obj;
+      if (!consume(',')) return std::nullopt;
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(std::string_view text) {
+  return Parser{text}.parse_document();
+}
+
+}  // namespace esim::telemetry

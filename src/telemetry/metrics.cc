@@ -1,0 +1,146 @@
+#include "telemetry/metrics.h"
+
+#include <stdexcept>
+
+namespace esim::telemetry {
+
+const InstrumentSnapshot* Snapshot::find(std::string_view name) const {
+  for (const auto& i : instruments) {
+    if (i.name == name) return &i;
+  }
+  return nullptr;
+}
+
+Json Snapshot::to_json() const {
+  Json out = Json::object();
+  for (const auto& i : instruments) {
+    switch (i.kind) {
+      case InstrumentSnapshot::Kind::Counter:
+        out[i.name] = i.counter;
+        break;
+      case InstrumentSnapshot::Kind::Gauge:
+        out[i.name] = i.gauge;
+        break;
+      case InstrumentSnapshot::Kind::Histogram: {
+        Json h = Json::object();
+        h["count"] = i.count;
+        h["sum"] = i.sum;
+        Json buckets = Json::array();
+        for (const auto& [lo, n] : i.buckets) {
+          Json pair = Json::array();
+          pair.push_back(lo);
+          pair.push_back(n);
+          buckets.push_back(std::move(pair));
+        }
+        h["buckets"] = std::move(buckets);
+        out[i.name] = std::move(h);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Registry::Entry* Registry::find_locked(std::string_view name) {
+  for (auto& e : entries_) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+Counter* Registry::counter(std::string_view name) {
+  std::lock_guard lock{mu_};
+  if (Entry* e = find_locked(name)) {
+    if (e->kind != InstrumentSnapshot::Kind::Counter) {
+      throw std::logic_error("telemetry: '" + std::string{name} +
+                             "' already registered with a different kind");
+    }
+    return &counters_[e->index];
+  }
+  counters_.emplace_back();
+  entries_.push_back({std::string{name}, InstrumentSnapshot::Kind::Counter,
+                      counters_.size() - 1});
+  return &counters_.back();
+}
+
+Gauge* Registry::gauge(std::string_view name) {
+  std::lock_guard lock{mu_};
+  if (Entry* e = find_locked(name)) {
+    if (e->kind != InstrumentSnapshot::Kind::Gauge) {
+      throw std::logic_error("telemetry: '" + std::string{name} +
+                             "' already registered with a different kind");
+    }
+    return &gauges_[e->index];
+  }
+  gauges_.emplace_back();
+  entries_.push_back({std::string{name}, InstrumentSnapshot::Kind::Gauge,
+                      gauges_.size() - 1});
+  return &gauges_.back();
+}
+
+Histogram* Registry::histogram(std::string_view name) {
+  std::lock_guard lock{mu_};
+  if (Entry* e = find_locked(name)) {
+    if (e->kind != InstrumentSnapshot::Kind::Histogram) {
+      throw std::logic_error("telemetry: '" + std::string{name} +
+                             "' already registered with a different kind");
+    }
+    return &histograms_[e->index];
+  }
+  histograms_.emplace_back();
+  entries_.push_back({std::string{name}, InstrumentSnapshot::Kind::Histogram,
+                      histograms_.size() - 1});
+  return &histograms_.back();
+}
+
+void Registry::add_flusher(std::function<void()> fn) {
+  std::lock_guard lock{mu_};
+  flushers_.push_back(std::move(fn));
+}
+
+Snapshot Registry::snapshot() {
+  // Flushers may register new instruments, so run them before locking.
+  std::vector<std::function<void()>*> to_run;
+  {
+    std::lock_guard lock{mu_};
+    to_run.reserve(flushers_.size());
+    for (auto& f : flushers_) to_run.push_back(&f);
+  }
+  for (auto* f : to_run) (*f)();
+
+  Snapshot snap;
+  std::lock_guard lock{mu_};
+  snap.instruments.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    InstrumentSnapshot i;
+    i.name = e.name;
+    i.kind = e.kind;
+    switch (e.kind) {
+      case InstrumentSnapshot::Kind::Counter:
+        i.counter = counters_[e.index].value();
+        break;
+      case InstrumentSnapshot::Kind::Gauge:
+        i.gauge = gauges_[e.index].value();
+        break;
+      case InstrumentSnapshot::Kind::Histogram: {
+        const Histogram& h = histograms_[e.index];
+        i.count = h.count();
+        i.sum = h.sum();
+        for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+          const std::uint64_t n = h.bucket_count(b);
+          if (n != 0) i.buckets.emplace_back(Histogram::bucket_lower_bound(b), n);
+        }
+        break;
+      }
+    }
+    snap.instruments.push_back(std::move(i));
+  }
+  return snap;
+}
+
+std::size_t Registry::instrument_count() const {
+  std::lock_guard lock{mu_};
+  return entries_.size();
+}
+
+}  // namespace esim::telemetry

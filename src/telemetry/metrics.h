@@ -1,0 +1,178 @@
+// The metrics registry: named Counter / Gauge / Histogram instruments the
+// sim, PDES, net, tcp, and approx layers publish into.
+//
+// Cost contract (DESIGN.md §7):
+//   * Telemetry is off by default. A component that was never handed a
+//     Registry holds null instrument pointers, and every publishing site
+//     is a single branch on that pointer — no allocation, no atomics, no
+//     clock reads on the disabled path.
+//   * Instrument names are interned once, at registration time, behind a
+//     mutex. The hot path holds the returned instrument pointer (stable
+//     for the Registry's lifetime) and performs one relaxed atomic RMW
+//     per update, so concurrent PDES partitions can share instruments
+//     without locks.
+//   * Nothing in here reads or advances simulation state: enabling
+//     telemetry cannot change event order, RNG draws, or outputs.
+//
+// Two publishing styles coexist:
+//   * push — hot-path sites increment shared instruments as things happen
+//     (links, switches, TCP). Used where many short-lived objects
+//     aggregate into one logical series.
+//   * pull — objects that already keep their own totals (Simulator,
+//     ParallelEngine, ApproxCluster) register a flusher; snapshot() runs
+//     the flushers so the registry reflects their current totals without
+//     any hot-path work at all. Flushers must not outlive their subject:
+//     snapshot() may only be called while every registered publisher is
+//     alive.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+namespace esim::telemetry {
+
+/// Monotonic (by convention) unsigned counter. Wraps mod 2^64 like any
+/// unsigned integer; snapshot consumers diff against the previous value.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  /// Flusher-style publication: overwrite with an externally kept total.
+  void set(std::uint64_t v) { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time signed value (queue depth, inbox size, ...).
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  std::int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Histogram over unsigned values with fixed log-2 buckets: bucket 0
+/// holds the value 0 and bucket i (1..64) holds values in
+/// [2^(i-1), 2^i). Recording is one relaxed RMW on the bucket plus two
+/// on count/sum; there are no configurable boundaries to look up.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Bucket index for `v` (0 for 0, else bit_width(v)).
+  static constexpr std::size_t bucket_of(std::uint64_t v) {
+    std::size_t w = 0;
+    while (v != 0) {
+      v >>= 1;
+      ++w;
+    }
+    return w;
+  }
+
+  /// Inclusive lower bound of bucket `i`.
+  static constexpr std::uint64_t bucket_lower_bound(std::size_t i) {
+    return i == 0 ? 0 : std::uint64_t{1} << (i - 1);
+  }
+
+  void record(std::uint64_t v) {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One instrument's state at snapshot time.
+struct InstrumentSnapshot {
+  enum class Kind { Counter, Gauge, Histogram };
+  std::string name;
+  Kind kind = Kind::Counter;
+  std::uint64_t counter = 0;   ///< Counter value
+  std::int64_t gauge = 0;      ///< Gauge value
+  std::uint64_t count = 0;     ///< Histogram sample count
+  std::uint64_t sum = 0;       ///< Histogram sample sum
+  /// Non-empty histogram buckets as (inclusive lower bound, count).
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+};
+
+/// Registry state at one instant, detached from the live instruments.
+struct Snapshot {
+  std::vector<InstrumentSnapshot> instruments;
+
+  /// Lookup by interned name; nullptr when absent.
+  const InstrumentSnapshot* find(std::string_view name) const;
+
+  /// JSON object keyed by instrument name: counters/gauges as numbers,
+  /// histograms as {count, sum, buckets: [[lower_bound, count], ...]}.
+  Json to_json() const;
+};
+
+/// Thread-safe instrument registry. Registration (name interning) takes a
+/// mutex; updates through the returned pointers are lock-free.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the instrument registered under `name`, creating it on first
+  /// use. The pointer is stable for the Registry's lifetime, and repeated
+  /// calls with the same name return the same instrument (interning).
+  /// Registering one name as two different kinds throws.
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  /// Registers a pull-style publisher run at the start of snapshot().
+  /// The callback must stay valid until the registry is destroyed or the
+  /// last snapshot is taken, whichever comes first.
+  void add_flusher(std::function<void()> fn);
+
+  /// Runs the flushers, then copies every instrument's current state.
+  Snapshot snapshot();
+
+  /// Number of registered instruments.
+  std::size_t instrument_count() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    InstrumentSnapshot::Kind kind;
+    // Exactly one is used, per kind. Deques keep pointers stable.
+    std::size_t index = 0;
+  };
+
+  Entry* find_locked(std::string_view name);
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::vector<std::function<void()>> flushers_;
+};
+
+}  // namespace esim::telemetry

@@ -1,0 +1,41 @@
+#include "telemetry/report.h"
+
+#include <cstdio>
+
+namespace esim::telemetry {
+
+RunReport::RunReport(const std::string& name) {
+  doc_ = Json::object();
+  doc_["esim_report"]["version"] = kVersion;
+  doc_["esim_report"]["name"] = name;
+}
+
+void RunReport::set(std::string_view dotted_path, Json value) {
+  Json* node = &doc_;
+  std::string_view rest = dotted_path;
+  for (;;) {
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string_view::npos) {
+      (*node)[rest] = std::move(value);
+      return;
+    }
+    node = &(*node)[rest.substr(0, dot)];
+    rest = rest.substr(dot + 1);
+  }
+}
+
+void RunReport::add_metrics(const Snapshot& snapshot,
+                            std::string_view section) {
+  set(section, snapshot.to_json());
+}
+
+bool RunReport::write(const std::string& path) const {
+  const std::string text = to_string();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool nl = std::fwrite("\n", 1, 1, f) == 1;
+  return std::fclose(f) == 0 && ok && nl;
+}
+
+}  // namespace esim::telemetry

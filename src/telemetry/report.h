@@ -1,0 +1,54 @@
+// Structured run reports: every experiment, example, and bench run
+// snapshots its metrics and results into one versioned JSON document, so
+// runs are machine-diffable across PRs (the BENCH_*.json trajectory in
+// EXPERIMENTS.md is one instance of this format).
+//
+// Document shape (version 1):
+//
+//   {
+//     "esim_report": {"version": 1, "name": "<run name>"},
+//     "metrics": { "<instrument>": <value or histogram> },   // optional
+//     ... caller-defined sections via set("a.b.c", value) ...
+//   }
+#pragma once
+
+#include <string>
+
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
+
+namespace esim::telemetry {
+
+/// Builder for one run-report document.
+class RunReport {
+ public:
+  static constexpr int kVersion = 1;
+
+  /// Creates a report named `name` (e.g. "fig4_rtt_cdf").
+  explicit RunReport(const std::string& name);
+
+  /// The underlying document, for direct structured writes.
+  Json& root() { return doc_; }
+  const Json& root() const { return doc_; }
+
+  /// Sets a value at a dot-separated path ("full.rtt.p99"), creating
+  /// intermediate objects as needed.
+  void set(std::string_view dotted_path, Json value);
+
+  /// Adds a registry snapshot under `section` (default "metrics").
+  /// Multiple snapshots can land in different sections ("full.metrics",
+  /// "hybrid.metrics").
+  void add_metrics(const Snapshot& snapshot,
+                   std::string_view section = "metrics");
+
+  /// Serializes the document.
+  std::string to_string() const { return doc_.dump(2); }
+
+  /// Writes the document to `path`. Returns false on I/O error.
+  bool write(const std::string& path) const;
+
+ private:
+  Json doc_;
+};
+
+}  // namespace esim::telemetry

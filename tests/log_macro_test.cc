@@ -1,0 +1,82 @@
+// ESIM_LOG contract: when the level is disabled, the message expression is
+// never evaluated, so a call site allocates nothing — cheap enough to
+// leave in packet-rate hot paths. Verified with a counting global
+// operator new.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "sim/component.h"
+#include "sim/logger.h"
+#include "sim/simulator.h"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocations{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace esim::sim {
+namespace {
+
+class Chatty : public Component {
+ public:
+  Chatty(Simulator& sim, std::string name) : Component(sim, std::move(name)) {}
+
+  void say(LogLevel level, int i) {
+    ESIM_LOG(*this, level,
+             "expensive message " + std::to_string(i) +
+                 " that would allocate if built");
+  }
+};
+
+TEST(EsimLog, DisabledLevelEvaluatesAndAllocatesNothing) {
+  Simulator sim{1};
+  auto* c = sim.add_component<Chatty>("chatty");
+  sim.logger().set_level(LogLevel::Warn);  // the default
+
+  const std::uint64_t before = g_allocations.load();
+  for (int i = 0; i < 1000; ++i) c->say(LogLevel::Debug, i);
+  EXPECT_EQ(g_allocations.load(), before);
+}
+
+TEST(EsimLog, EnabledLevelReachesTheSink) {
+  Simulator sim{1};
+  auto* c = sim.add_component<Chatty>("chatty");
+  std::vector<std::string> lines;
+  sim.logger().set_sink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  sim.logger().set_level(LogLevel::Debug);
+  c->say(LogLevel::Debug, 7);
+  sim.logger().set_level(LogLevel::Warn);
+  c->say(LogLevel::Debug, 8);  // suppressed again
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("expensive message 7"), std::string::npos);
+  EXPECT_NE(lines[0].find("chatty"), std::string::npos);
+  sim.logger().set_sink({});
+}
+
+}  // namespace
+}  // namespace esim::sim
