@@ -111,6 +111,23 @@ void BM_LstmInferenceStep(benchmark::State& state) {
 }
 BENCHMARK(BM_LstmInferenceStep)->Arg(16)->Arg(32)->Arg(128);
 
+// The naive Tensor step() path, kept as the baseline the session is
+// measured against (see bench_inference for the packets/s comparison).
+void BM_LstmInferenceReference(benchmark::State& state) {
+  approx::MicroModel::Config cfg;
+  cfg.hidden = static_cast<std::size_t>(state.range(0));
+  cfg.layers = 2;
+  approx::MicroModel model{cfg};
+  approx::PacketFeatures f;
+  f.v[0] = 0.3;
+  f.v[7] = 0.9;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict_reference(f));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LstmInferenceReference)->Arg(16)->Arg(32)->Arg(128);
+
 void BM_FeatureExtraction(benchmark::State& state) {
   net::ClosSpec spec;
   spec.clusters = 4;

@@ -24,6 +24,13 @@ for preset in default asan-ubsan; do
   ctest --preset "${preset}" "${jobs}"
 done
 
+# The inference bench doubles as a sanitizer workout for the packed
+# SIMD kernels and the workspace plan: quick-mode it streams every
+# trunk/hidden config through both predict paths (bit-identity checked,
+# exit 1 on mismatch) plus a hybrid telemetry run.
+echo "=== asan-ubsan — bench_inference smoke ==="
+(cd build-asan && ESIM_BENCH_QUICK=1 ./bench/bench_inference)
+
 echo "=== preset: tsan — configure ==="
 cmake --preset tsan
 echo "=== preset: tsan — build ==="

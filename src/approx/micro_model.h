@@ -11,16 +11,31 @@
 //
 // The trunk defaults to the paper's two-layer LSTM; a GRU variant (§7's
 // "new LSTM variants") is selectable via Config::trunk.
+//
+// Train/infer split (DESIGN.md §8): the packet hot path runs through a
+// compiled ml::InferenceSession — an immutable snapshot of the weights
+// taken at construction/copy/recompile() time — so predict() allocates
+// nothing. After optimizer steps mutate the training tensors, call
+// recompile() to re-snapshot (train_micro_model does this at train
+// completion). predict_reference() keeps the naive Tensor step() path as
+// the bit-identical reference. A model loaded via load_inference() is
+// *inference-only*: it owns just the session weights and never
+// materializes the training-side gradient tensors (trainable() == false;
+// training accessors throw).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <memory>
+#include <optional>
+#include <span>
 #include <string>
 
 #include "approx/features.h"
 #include "ml/linear.h"
 #include "ml/module.h"
 #include "ml/sequence_model.h"
+#include "ml/serialize.h"
 
 namespace esim::approx {
 
@@ -42,16 +57,32 @@ class MicroModel : public ml::Module {
 
   explicit MicroModel(const Config& config);
 
-  /// Deep copies (each ApproxCluster owns private weights + state).
+  /// Deep copies (each ApproxCluster owns private weights + state). The
+  /// copy's recurrent state is always reset — streamed history is never
+  /// shared between clusters.
   MicroModel(const MicroModel& other);
   MicroModel& operator=(const MicroModel& other);
 
   /// Streaming inference for one packet: advances the hidden state and
   /// returns the joint prediction. Latency is de-normalized via the stats
-  /// set at training time.
-  Prediction predict(const PacketFeatures& features);
+  /// set at training time. Runs the fused InferenceSession; performs no
+  /// heap allocation.
+  Prediction predict(std::span<const double> features);
+  Prediction predict(const PacketFeatures& features) {
+    return predict(std::span<const double>{features.v});
+  }
 
-  /// Clears the streaming hidden state (start of a new simulation).
+  /// The naive Tensor step() path, kept as the reference implementation
+  /// for the bit-identity contract (and the baseline of
+  /// bench/bench_inference). Streams its own hidden state, separate from
+  /// the session's. Trainable models only.
+  Prediction predict_reference(std::span<const double> features);
+  Prediction predict_reference(const PacketFeatures& features) {
+    return predict_reference(std::span<const double>{features.v});
+  }
+
+  /// Clears the streaming hidden state (start of a new simulation) of
+  /// both the session and the reference path.
   void reset_state();
 
   /// Sets the latency-target normalization (mean/std of ln(latency_us))
@@ -64,25 +95,55 @@ class MicroModel : public ml::Module {
   /// Converts a latency in seconds to the normalized training target.
   double normalize_latency(double latency_seconds) const;
 
-  /// Trainer access to the pieces.
-  ml::SequenceModel& trunk() { return *trunk_; }
-  ml::Linear& drop_head() { return drop_head_; }
-  ml::Linear& latency_head() { return latency_head_; }
+  /// False for models built by load_inference(): they carry only the
+  /// compiled session, no training machinery.
+  bool trainable() const { return trunk_ != nullptr; }
+
+  /// Trainer access to the pieces. Throw std::logic_error when
+  /// !trainable().
+  ml::SequenceModel& trunk();
+  ml::Linear& drop_head();
+  ml::Linear& latency_head();
+
+  /// Re-snapshots the session from the current weight values. Call after
+  /// mutating weights in place (optimizer steps, load_parameters);
+  /// sessions are immutable and do not track later tensor writes. Throws
+  /// std::logic_error when !trainable().
+  void recompile();
+
+  /// The compiled hot-path plan.
+  const ml::InferenceSession& session() const { return *session_; }
 
   const Config& config() const { return config_; }
 
+  /// Saves the v2 model container (architecture header + weights);
+  /// load_inference() reads it back without the training structures.
+  void save(const std::string& path);
+
+  /// Loads a v2 model file into an inference-only model: one owning
+  /// InferenceSession, no Tensors, no gradients. Throws
+  /// std::runtime_error on format/shape errors.
+  static MicroModel load_inference(const std::string& path);
+
   /// Includes the trunk, both heads, and the normalization constants (so
-  /// serialized models carry them).
+  /// serialized models carry them). Throws std::logic_error when
+  /// !trainable().
   std::vector<ml::Parameter> parameters() override;
 
  private:
+  MicroModel() = default;  // inference-only shell for load_inference
+  void compile();          // snapshots the live weights into session_
+  void require_trainable(const char* what) const;
+
   Config config_;
-  std::unique_ptr<ml::SequenceModel> trunk_;
-  ml::Linear drop_head_;
-  ml::Linear latency_head_;
-  ml::Tensor norm_;       // 1x2: [mean_log_us, std_log_us]
-  ml::Tensor norm_grad_;  // unused, present for the Parameter interface
-  std::unique_ptr<ml::SequenceModel::State> state_;
+  std::unique_ptr<ml::SequenceModel> trunk_;  // null when inference-only
+  std::optional<ml::Linear> drop_head_;
+  std::optional<ml::Linear> latency_head_;
+  ml::Tensor norm_{1, 2, {std::log(10.0), 1.0}};  // default: ~10us fabric
+
+  ml::Tensor norm_grad_{1, 2};  // unused, present for the Parameter interface
+  std::unique_ptr<ml::InferenceSession> session_;
+  std::unique_ptr<ml::SequenceModel::State> ref_state_;  // reference path
 };
 
 }  // namespace esim::approx

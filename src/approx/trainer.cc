@@ -100,6 +100,11 @@ TrainReport train_micro_model(MicroModel& model, const Dataset& dataset,
     report.final_latency_loss = lat_loss;
   }
 
+  // Train completion: re-snapshot the inference session so predict()
+  // serves the trained weights (sessions are immutable; the optimizer
+  // wrote through the training tensors behind the compiled copy).
+  model.recompile();
+
   // Evaluation sweep: streaming predictions over the dataset.
   model.reset_state();
   std::size_t correct = 0, delivered = 0;

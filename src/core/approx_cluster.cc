@@ -103,12 +103,16 @@ void ApproxCluster::handle_packet(Packet pkt) {
   approx::FeatureExtractor& extractor =
       egress ? egress_features_ : ingress_features_;
 
+  const auto infer = [&] {
+    const auto features = extractor.extract(pkt, now(), macro_.state());
+    return config_.reference_inference ? model.predict_reference(features)
+                                       : model.predict(features);
+  };
   approx::MicroModel::Prediction prediction;
   if (m_inferences_ != nullptr) {
     telemetry::Span span{"approx.inference"};
     const auto t0 = std::chrono::steady_clock::now();
-    const auto features = extractor.extract(pkt, now(), macro_.state());
-    prediction = model.predict(features);
+    prediction = infer();
     m_inferences_->inc();
     // Wall-clock inference cost; virtual time is unaffected.
     m_inference_ns_->record(static_cast<std::uint64_t>(
@@ -117,8 +121,7 @@ void ApproxCluster::handle_packet(Packet pkt) {
             .count()));
   } else {
     telemetry::Span span{"approx.inference"};
-    const auto features = extractor.extract(pkt, now(), macro_.state());
-    prediction = model.predict(features);
+    prediction = infer();
   }
   const double latency =
       std::max(prediction.latency_seconds, config_.min_latency_s);

@@ -55,6 +55,11 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
     /// packet is dropped instead (the virtual analogue of the real
     /// port's drop-tail queue; default = 150 KB at 10 Gbps).
     sim::SimTime max_port_backlog = sim::SimTime::from_us(120);
+    /// Route predictions through the naive Tensor reference path instead
+    /// of the fused InferenceSession. A/B hook for bench_inference and
+    /// the bit-identity contract (the two paths produce identical
+    /// predictions); production keeps the session.
+    bool reference_inference = false;
     /// Macro classifier parameters.
     approx::MacroClassifier::Config macro;
   };

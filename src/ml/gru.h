@@ -51,6 +51,12 @@ class GruLayer : public Module {
   std::size_t input_size() const { return input_; }
   std::size_t hidden_size() const { return hidden_; }
 
+  /// Read-only weight access for the inference-session compiler.
+  const Tensor& w_ih() const { return w_ih_; }
+  const Tensor& w_hh() const { return w_hh_; }
+  const Tensor& b_ih() const { return b_ih_; }
+  const Tensor& b_hh() const { return b_hh_; }
+
   std::vector<Parameter> parameters() override;
 
  private:
@@ -91,6 +97,7 @@ class Gru : public Module {
 
   std::size_t hidden_size() const { return layers_.front().hidden_size(); }
   std::size_t num_layers() const { return layers_.size(); }
+  const std::vector<GruLayer>& layers() const { return layers_; }
 
   std::vector<Parameter> parameters() override;
 

@@ -1,0 +1,537 @@
+// Fused inference kernels. Bit-identity rationale (see inference.h): the
+// naive matmul_nt inner loop is bound by its serial addsd dependency
+// chain, not multiply throughput. The kernels here compute many gate
+// rows at once — each row's dot product still sums p = 0..n-1 in exactly
+// the reference order, so every result matches the reference to the last
+// bit, but the rows form independent accumulator chains that fill the
+// FPU pipeline. finalize_plan() packs consecutive weight rows in groups
+// of eight (column-interleaved: pk[p*8 + r] = w[r][p]) so the SIMD
+// variants can load one column of eight rows as contiguous vectors. The
+// AVX2/AVX-512 paths keep one row per vector lane; lane arithmetic is
+// the same IEEE mul-then-add as the scalar code (this file is compiled
+// with -ffp-contract=off, and the AVX2 clone does not enable FMA, so no
+// fused multiply-add can change the rounding).
+#include "ml/inference.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "ml/activations.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define ESIM_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
+namespace esim::ml {
+namespace {
+
+/// Single-row dot with the reference summation order.
+inline double dot1(const double* w, std::size_t n, const double* x) {
+  double s = 0.0;
+  for (std::size_t p = 0; p < n; ++p) s += x[p] * w[p];
+  return s;
+}
+
+/// matvec over `groups` packed 8-row groups: out[g*8 + r] = dot(row, x).
+/// Portable fallback — eight independent scalar chains per group.
+void matvec_scalar(const double* pk, std::size_t groups, std::size_t n,
+                   const double* x, double* out) {
+  for (std::size_t g = 0; g < groups; ++g) {
+    const double* w = pk + g * 8 * n;
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    double s4 = 0.0, s5 = 0.0, s6 = 0.0, s7 = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      const double xv = x[p];
+      const double* col = w + p * 8;
+      s0 += xv * col[0];
+      s1 += xv * col[1];
+      s2 += xv * col[2];
+      s3 += xv * col[3];
+      s4 += xv * col[4];
+      s5 += xv * col[5];
+      s6 += xv * col[6];
+      s7 += xv * col[7];
+    }
+    double* o = out + g * 8;
+    o[0] = s0;
+    o[1] = s1;
+    o[2] = s2;
+    o[3] = s3;
+    o[4] = s4;
+    o[5] = s5;
+    o[6] = s6;
+    o[7] = s7;
+  }
+}
+
+#ifdef ESIM_X86_DISPATCH
+
+/// AVX2 variant: two groups (16 rows) per pass = four independent ymm
+/// accumulator chains, enough to cover the vaddpd latency. One row per
+/// lane; each lane performs the exact scalar operation sequence.
+__attribute__((target("avx2"))) void matvec_avx2(const double* pk,
+                                                 std::size_t groups,
+                                                 std::size_t n,
+                                                 const double* x,
+                                                 double* out) {
+  std::size_t g = 0;
+  for (; g + 2 <= groups; g += 2) {
+    const double* a = pk + g * 8 * n;
+    const double* b = a + 8 * n;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    __m256d b0 = _mm256_setzero_pd();
+    __m256d b1 = _mm256_setzero_pd();
+    for (std::size_t p = 0; p < n; ++p) {
+      const __m256d xv = _mm256_broadcast_sd(x + p);
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(xv, _mm256_loadu_pd(a + p * 8)));
+      a1 = _mm256_add_pd(a1,
+                         _mm256_mul_pd(xv, _mm256_loadu_pd(a + p * 8 + 4)));
+      b0 = _mm256_add_pd(b0, _mm256_mul_pd(xv, _mm256_loadu_pd(b + p * 8)));
+      b1 = _mm256_add_pd(b1,
+                         _mm256_mul_pd(xv, _mm256_loadu_pd(b + p * 8 + 4)));
+    }
+    _mm256_storeu_pd(out + g * 8, a0);
+    _mm256_storeu_pd(out + g * 8 + 4, a1);
+    _mm256_storeu_pd(out + g * 8 + 8, b0);
+    _mm256_storeu_pd(out + g * 8 + 12, b1);
+  }
+  if (g < groups) {
+    const double* a = pk + g * 8 * n;
+    __m256d a0 = _mm256_setzero_pd();
+    __m256d a1 = _mm256_setzero_pd();
+    for (std::size_t p = 0; p < n; ++p) {
+      const __m256d xv = _mm256_broadcast_sd(x + p);
+      a0 = _mm256_add_pd(a0, _mm256_mul_pd(xv, _mm256_loadu_pd(a + p * 8)));
+      a1 = _mm256_add_pd(a1,
+                         _mm256_mul_pd(xv, _mm256_loadu_pd(a + p * 8 + 4)));
+    }
+    _mm256_storeu_pd(out + g * 8, a0);
+    _mm256_storeu_pd(out + g * 8 + 4, a1);
+  }
+}
+
+/// AVX-512 variant: four groups (32 rows) per pass = four independent
+/// zmm accumulator chains. Note: no vfmadd — mul and add stay separate
+/// so every lane rounds twice, exactly like the reference.
+__attribute__((target("avx512f"))) void matvec_avx512(const double* pk,
+                                                      std::size_t groups,
+                                                      std::size_t n,
+                                                      const double* x,
+                                                      double* out) {
+  std::size_t g = 0;
+  for (; g + 4 <= groups; g += 4) {
+    const double* a = pk + g * 8 * n;
+    const double* b = a + 8 * n;
+    const double* c = b + 8 * n;
+    const double* d = c + 8 * n;
+    __m512d sa = _mm512_setzero_pd();
+    __m512d sb = _mm512_setzero_pd();
+    __m512d sc = _mm512_setzero_pd();
+    __m512d sd = _mm512_setzero_pd();
+    for (std::size_t p = 0; p < n; ++p) {
+      const __m512d xv = _mm512_set1_pd(x[p]);
+      sa = _mm512_add_pd(sa, _mm512_mul_pd(xv, _mm512_loadu_pd(a + p * 8)));
+      sb = _mm512_add_pd(sb, _mm512_mul_pd(xv, _mm512_loadu_pd(b + p * 8)));
+      sc = _mm512_add_pd(sc, _mm512_mul_pd(xv, _mm512_loadu_pd(c + p * 8)));
+      sd = _mm512_add_pd(sd, _mm512_mul_pd(xv, _mm512_loadu_pd(d + p * 8)));
+    }
+    _mm512_storeu_pd(out + g * 8, sa);
+    _mm512_storeu_pd(out + g * 8 + 8, sb);
+    _mm512_storeu_pd(out + g * 8 + 16, sc);
+    _mm512_storeu_pd(out + g * 8 + 24, sd);
+  }
+  for (; g < groups; ++g) {
+    const double* a = pk + g * 8 * n;
+    __m512d sa = _mm512_setzero_pd();
+    for (std::size_t p = 0; p < n; ++p) {
+      const __m512d xv = _mm512_set1_pd(x[p]);
+      sa = _mm512_add_pd(sa, _mm512_mul_pd(xv, _mm512_loadu_pd(a + p * 8)));
+    }
+    _mm512_storeu_pd(out + g * 8, sa);
+  }
+}
+
+#endif  // ESIM_X86_DISPATCH
+
+using MatvecFn = void (*)(const double*, std::size_t, std::size_t,
+                          const double*, double*);
+
+/// Picks the widest kernel the CPU supports; every variant is
+/// bit-identical, so this is purely a throughput decision. AVX2 is
+/// preferred over AVX-512 by default: the 512-bit license downclock on
+/// server parts slows the scalar sigmoid/tanh pass that shares the step,
+/// costing more than the wider vectors win. ESIM_INFERENCE_ISA
+/// (scalar|avx2|avx512) overrides, mainly so tests and benches can pin a
+/// variant.
+MatvecFn select_matvec() {
+#ifdef ESIM_X86_DISPATCH
+  const char* force = std::getenv("ESIM_INFERENCE_ISA");
+  if (force != nullptr && force[0] != '\0') {
+    const std::string_view v{force};
+    if (v == "avx512" && __builtin_cpu_supports("avx512f")) {
+      return matvec_avx512;
+    }
+    if (v == "avx2" && __builtin_cpu_supports("avx2")) return matvec_avx2;
+    return matvec_scalar;
+  }
+  if (__builtin_cpu_supports("avx2")) return matvec_avx2;
+  if (__builtin_cpu_supports("avx512f")) return matvec_avx512;
+#endif
+  return matvec_scalar;
+}
+
+const MatvecFn g_matvec = select_matvec();
+
+void require_shape(const Tensor* t, std::size_t rows, std::size_t cols,
+                   const char* what) {
+  if (t == nullptr) {
+    throw std::invalid_argument(std::string{"InferenceSession: missing "} +
+                                what);
+  }
+  if (t->rows() != rows || t->cols() != cols) {
+    throw std::invalid_argument(std::string{"InferenceSession: bad shape for "} +
+                                what);
+  }
+}
+
+std::size_t gate_factor(TrunkKind kind) {
+  return kind == TrunkKind::Lstm ? 4 : 3;
+}
+
+}  // namespace
+
+const char* trunk_kind_name(TrunkKind kind) {
+  switch (kind) {
+    case TrunkKind::Lstm:
+      return "lstm";
+    case TrunkKind::Gru:
+      return "gru";
+  }
+  return "?";
+}
+
+InferenceSession::InferenceSession(TrunkKind kind,
+                                   const std::vector<LayerWeights>& layers,
+                                   const std::vector<HeadWeights>& heads)
+    : kind_{kind} {
+  if (layers.empty()) {
+    throw std::invalid_argument("InferenceSession: no layers");
+  }
+  const std::size_t G = gate_factor(kind);
+  const std::size_t hidden = layers.front().w_hh != nullptr
+                                 ? layers.front().w_hh->cols()
+                                 : 0;
+  const std::size_t input =
+      layers.front().w_ih != nullptr ? layers.front().w_ih->cols() : 0;
+  if (hidden == 0 || input == 0) {
+    throw std::invalid_argument("InferenceSession: zero dimension");
+  }
+  Arch arch;
+  arch.kind = kind;
+  arch.input = input;
+  arch.hidden = hidden;
+  arch.layers = layers.size();
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const LayerWeights& lw = layers[l];
+    const std::size_t in = l == 0 ? input : hidden;
+    require_shape(lw.w_ih, G * hidden, in, "w_ih");
+    require_shape(lw.w_hh, G * hidden, hidden, "w_hh");
+    require_shape(lw.b_ih, 1, G * hidden, "b_ih");
+    if (kind == TrunkKind::Gru) {
+      require_shape(lw.b_hh, 1, G * hidden, "b_hh");
+    } else if (lw.b_hh != nullptr) {
+      throw std::invalid_argument("InferenceSession: LSTM layer with b_hh");
+    }
+  }
+  for (const HeadWeights& hw : heads) {
+    if (hw.weight == nullptr || hw.bias == nullptr) {
+      throw std::invalid_argument("InferenceSession: missing head weights");
+    }
+    require_shape(hw.weight, hw.weight->rows(), hidden, "head weight");
+    require_shape(hw.bias, 1, hw.weight->rows(), "head bias");
+    arch.head_outputs.push_back(hw.weight->rows());
+  }
+  assign_offsets(arch);
+  // Snapshot the current weight values into the owned natural buffer.
+  for (std::size_t l = 0; l < layers.size(); ++l) {
+    const LayerWeights& lw = layers[l];
+    const Layer& layer = layers_[l];
+    std::copy_n(lw.w_ih->data(), lw.w_ih->size(),
+                weights_.data() + layer.w_ih);
+    std::copy_n(lw.w_hh->data(), lw.w_hh->size(),
+                weights_.data() + layer.w_hh);
+    std::copy_n(lw.b_ih->data(), lw.b_ih->size(),
+                weights_.data() + layer.b_ih);
+    if (kind == TrunkKind::Gru) {
+      std::copy_n(lw.b_hh->data(), lw.b_hh->size(),
+                  weights_.data() + layer.b_hh);
+    }
+  }
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    std::copy_n(heads[i].weight->data(), heads[i].weight->size(),
+                weights_.data() + heads_[i].w);
+    std::copy_n(heads[i].bias->data(), heads[i].bias->size(),
+                weights_.data() + heads_[i].b);
+  }
+  finalize_plan();
+}
+
+InferenceSession::InferenceSession(const Arch& arch) : kind_{arch.kind} {
+  if (arch.input == 0 || arch.hidden == 0 || arch.layers == 0) {
+    throw std::invalid_argument("InferenceSession: zero dimension");
+  }
+  for (const std::size_t out : arch.head_outputs) {
+    if (out == 0) {
+      throw std::invalid_argument("InferenceSession: zero-width head");
+    }
+  }
+  assign_offsets(arch);
+  finalize_plan();
+}
+
+void InferenceSession::assign_offsets(const Arch& arch) {
+  const std::size_t G = gate_factor(arch.kind);
+  input_ = arch.input;
+  std::size_t off = 0;
+  layers_.reserve(arch.layers);
+  for (std::size_t l = 0; l < arch.layers; ++l) {
+    Layer layer;
+    layer.input = l == 0 ? arch.input : arch.hidden;
+    layer.hidden = arch.hidden;
+    layer.w_ih = off;
+    off += G * arch.hidden * layer.input;
+    layer.w_hh = off;
+    off += G * arch.hidden * arch.hidden;
+    layer.b_ih = off;
+    off += G * arch.hidden;
+    if (arch.kind == TrunkKind::Gru) {
+      layer.b_hh = off;
+      off += G * arch.hidden;
+    }
+    layers_.push_back(layer);
+  }
+  heads_.reserve(arch.head_outputs.size());
+  for (const std::size_t out : arch.head_outputs) {
+    Head head;
+    head.out = out;
+    head.w = off;
+    off += out * arch.hidden;
+    head.b = off;
+    off += out;
+    heads_.push_back(head);
+  }
+  weights_.assign(off, 0.0);
+}
+
+void InferenceSession::finalize_plan() {
+  std::size_t state_size = 0;
+  for (Layer& layer : layers_) {
+    layer.h_off = state_size;
+    state_size += layer.hidden;
+    if (kind_ == TrunkKind::Lstm) {
+      layer.c_off = state_size;
+      state_size += layer.hidden;
+    }
+  }
+  state_.assign(state_size, 0.0);
+  // Gate scratch: both kernels accumulate the input-side and hidden-side
+  // matvec results in two G-wide blocks before combining.
+  const std::size_t hidden = layers_.front().hidden;
+  const std::size_t G = gate_factor(kind_) * hidden;
+  const std::size_t scratch = 2 * G;
+  output_size_ = 0;
+  for (const Head& head : heads_) output_size_ += head.out;
+  head_out_off_ = scratch;
+  workspace_.assign(scratch + output_size_, 0.0);
+  // Packed (8-row interleaved) copies of the gate matrices. Row counts
+  // not divisible by 8 leave a tail handled by scalar dot1 off the
+  // natural buffer.
+  std::size_t poff = 0;
+  for (Layer& layer : layers_) {
+    const std::size_t full = (G / 8) * 8;
+    layer.pw_ih = poff;
+    poff += full * layer.input;
+    layer.pw_hh = poff;
+    poff += full * layer.hidden;
+  }
+  packed_.assign(poff, 0.0);
+  repack();
+}
+
+void InferenceSession::repack() {
+  const std::size_t G = gate_factor(kind_) * layers_.front().hidden;
+  const std::size_t groups = G / 8;
+  for (const Layer& layer : layers_) {
+    const auto pack = [&](std::size_t natural, std::size_t packed,
+                          std::size_t n) {
+      const double* w = weights_.data() + natural;
+      double* pk = packed_.data() + packed;
+      for (std::size_t g = 0; g < groups; ++g) {
+        for (std::size_t p = 0; p < n; ++p) {
+          for (std::size_t r = 0; r < 8; ++r) {
+            pk[g * 8 * n + p * 8 + r] = w[(g * 8 + r) * n + p];
+          }
+        }
+      }
+    };
+    pack(layer.w_ih, layer.pw_ih, layer.input);
+    pack(layer.w_hh, layer.pw_hh, layer.hidden);
+  }
+}
+
+void InferenceSession::reset_state() {
+  std::fill(state_.begin(), state_.end(), 0.0);
+}
+
+// Reference semantics (LstmLayer::step): gates = x W_ih^T + h W_hh^T + b,
+// then i = sigmoid(gates[0..H)), f = sigmoid(gates[H..2H)),
+// g = tanh(gates[2H..3H)), o = sigmoid(gates[3H..4H)),
+// c' = f*c + i*g, h' = o*tanh(c'). All gate rows are computed before the
+// state update, so reading h/c in place is safe.
+void InferenceSession::step_lstm(const Layer& layer, const double* x) {
+  const std::size_t H = layer.hidden;
+  const std::size_t I = layer.input;
+  const std::size_t G = 4 * H;
+  const double* wi = weights_.data() + layer.w_ih;
+  const double* wh = weights_.data() + layer.w_hh;
+  const double* b = weights_.data() + layer.b_ih;
+  double* h = state_.data() + layer.h_off;
+  double* c = state_.data() + layer.c_off;
+  double* gates = workspace_.data();
+  double* hg = workspace_.data() + G;
+
+  // gates[j] = (dot(x, w_ih row j) + dot(h, w_hh row j)) + b[j] — the
+  // same (matmul + add) + bias association as the reference.
+  const std::size_t full = (G / 8) * 8;
+  g_matvec(packed_.data() + layer.pw_ih, G / 8, I, x, gates);
+  g_matvec(packed_.data() + layer.pw_hh, G / 8, H, h, hg);
+  for (std::size_t j = full; j < G; ++j) {
+    gates[j] = dot1(wi + j * I, I, x);
+    hg[j] = dot1(wh + j * H, H, h);
+  }
+  for (std::size_t j = 0; j < G; ++j) gates[j] = gates[j] + hg[j] + b[j];
+
+  for (std::size_t u = 0; u < H; ++u) {
+    const double gi = sigmoid(gates[u]);
+    const double gf = sigmoid(gates[H + u]);
+    const double gg = std::tanh(gates[2 * H + u]);
+    const double go = sigmoid(gates[3 * H + u]);
+    const double cv = gf * c[u] + gi * gg;
+    const double tc = std::tanh(cv);
+    c[u] = cv;
+    h[u] = go * tc;
+  }
+}
+
+// Reference semantics (GruLayer::step): gi = x W_ih^T + b_ih,
+// gh = h W_hh^T + b_hh, r = sigmoid(gi[j] + gh[j]),
+// z = sigmoid(gi[H+j] + gh[H+j]), n = tanh(gi[2H+j] + r * gh[2H+j]),
+// h' = (1 - z) * n + z * h.
+void InferenceSession::step_gru(const Layer& layer, const double* x) {
+  const std::size_t H = layer.hidden;
+  const std::size_t I = layer.input;
+  const std::size_t G = 3 * H;
+  const double* wi = weights_.data() + layer.w_ih;
+  const double* wh = weights_.data() + layer.w_hh;
+  const double* bi = weights_.data() + layer.b_ih;
+  const double* bh = weights_.data() + layer.b_hh;
+  double* h = state_.data() + layer.h_off;
+  double* gi = workspace_.data();
+  double* gh = gi + G;
+
+  const std::size_t full = (G / 8) * 8;
+  g_matvec(packed_.data() + layer.pw_ih, G / 8, I, x, gi);
+  g_matvec(packed_.data() + layer.pw_hh, G / 8, H, h, gh);
+  for (std::size_t j = full; j < G; ++j) {
+    gi[j] = dot1(wi + j * I, I, x);
+    gh[j] = dot1(wh + j * H, H, h);
+  }
+  for (std::size_t j = 0; j < G; ++j) {
+    gi[j] += bi[j];
+    gh[j] += bh[j];
+  }
+
+  for (std::size_t u = 0; u < H; ++u) {
+    const double rv = sigmoid(gi[u] + gh[u]);
+    const double zv = sigmoid(gi[H + u] + gh[H + u]);
+    const double hl = gh[2 * H + u];
+    const double nv = std::tanh(gi[2 * H + u] + rv * hl);
+    h[u] = (1.0 - zv) * nv + zv * h[u];
+  }
+}
+
+std::span<const double> InferenceSession::predict(
+    std::span<const double> features) {
+  if (features.size() != input_) {
+    throw std::invalid_argument("InferenceSession: feature width mismatch");
+  }
+  const double* x = features.data();
+  for (const Layer& layer : layers_) {
+    if (kind_ == TrunkKind::Lstm) {
+      step_lstm(layer, x);
+    } else {
+      step_gru(layer, x);
+    }
+    x = state_.data() + layer.h_off;  // feeds the layer above
+  }
+  const Layer& top = layers_.back();
+  const double* h = state_.data() + top.h_off;
+  if (heads_.empty()) {
+    return {h, top.hidden};
+  }
+  // Head o: out[o] = dot(h, w row o) + b[o], matching Linear::forward
+  // (matmul_nt + add_row_bias).
+  double* out = workspace_.data() + head_out_off_;
+  std::size_t k = 0;
+  for (const Head& head : heads_) {
+    const double* w = weights_.data() + head.w;
+    const double* b = weights_.data() + head.b;
+    for (std::size_t o = 0; o < head.out; ++o) {
+      out[k++] = dot1(w + o * top.hidden, top.hidden, h) + b[o];
+    }
+  }
+  return {out, output_size_};
+}
+
+std::vector<WeightView> InferenceSession::weight_views(
+    const std::string& trunk_prefix,
+    const std::vector<std::string>& head_names) {
+  if (head_names.size() != heads_.size()) {
+    throw std::invalid_argument("InferenceSession: head name count mismatch");
+  }
+  const std::size_t G = gate_factor(kind_);
+  std::vector<WeightView> views;
+  views.reserve(layers_.size() * 4 + heads_.size() * 2);
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    const std::string prefix = trunk_prefix + "l" + std::to_string(l) + ".";
+    double* base = weights_.data();
+    views.push_back(
+        {prefix + "w_ih", G * layer.hidden, layer.input, base + layer.w_ih});
+    views.push_back(
+        {prefix + "w_hh", G * layer.hidden, layer.hidden, base + layer.w_hh});
+    if (kind_ == TrunkKind::Lstm) {
+      views.push_back({prefix + "b", 1, G * layer.hidden, base + layer.b_ih});
+    } else {
+      views.push_back(
+          {prefix + "b_ih", 1, G * layer.hidden, base + layer.b_ih});
+      views.push_back(
+          {prefix + "b_hh", 1, G * layer.hidden, base + layer.b_hh});
+    }
+  }
+  for (std::size_t i = 0; i < heads_.size(); ++i) {
+    const Head& head = heads_[i];
+    double* base = weights_.data();
+    views.push_back({head_names[i] + ".w", head.out, layers_.back().hidden,
+                     base + head.w});
+    views.push_back({head_names[i] + ".b", 1, head.out, base + head.b});
+  }
+  return views;
+}
+
+}  // namespace esim::ml

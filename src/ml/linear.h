@@ -33,6 +33,8 @@ class Linear : public Module {
   /// Direct access for tests/serialization.
   Tensor& weight() { return w_; }
   Tensor& bias() { return b_; }
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
 
   std::vector<Parameter> parameters() override;
 

@@ -56,6 +56,11 @@ class LstmLayer : public Module {
   std::size_t input_size() const { return input_; }
   std::size_t hidden_size() const { return hidden_; }
 
+  /// Read-only weight access for the inference-session compiler.
+  const Tensor& w_ih() const { return w_ih_; }
+  const Tensor& w_hh() const { return w_hh_; }
+  const Tensor& bias() const { return b_; }
+
   std::vector<Parameter> parameters() override;
 
  private:
@@ -106,6 +111,7 @@ class Lstm : public Module {
   std::size_t hidden_size() const { return layers_.front().hidden_size(); }
   std::size_t input_size() const { return layers_.front().input_size(); }
   std::size_t num_layers() const { return layers_.size(); }
+  const std::vector<LstmLayer>& layers() const { return layers_; }
 
   std::vector<Parameter> parameters() override;
 

@@ -1,6 +1,7 @@
 // Parameter registry shared by trainable layers.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,17 @@ struct Parameter {
   std::string name;
   Tensor* value = nullptr;
   Tensor* grad = nullptr;
+};
+
+/// The gradient-free analogue of Parameter: a named raw view into weight
+/// storage (rows*cols doubles, row-major). Model files load straight into
+/// these, so an inference-only consumer never materializes the
+/// training-side Tensor/gradient pairs.
+struct WeightView {
+  std::string name;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  double* data = nullptr;
 };
 
 /// Anything with trainable parameters.

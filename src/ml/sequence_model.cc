@@ -1,6 +1,7 @@
 #include "ml/sequence_model.h"
 
 #include <stdexcept>
+#include <type_traits>
 
 namespace esim::ml {
 namespace {
@@ -57,6 +58,25 @@ class NetModel final : public SequenceModel {
     return std::make_unique<NetModel>(net_);
   }
 
+  std::unique_ptr<InferenceSession> make_inference_session(
+      const std::vector<InferenceSession::HeadWeights>& heads)
+      const override {
+    std::vector<InferenceSession::LayerWeights> weights;
+    weights.reserve(net_.layers().size());
+    for (const auto& layer : net_.layers()) {
+      if constexpr (std::is_same_v<Net, Lstm>) {
+        weights.push_back(
+            {&layer.w_ih(), &layer.w_hh(), &layer.bias(), nullptr});
+      } else {
+        weights.push_back(
+            {&layer.w_ih(), &layer.w_hh(), &layer.b_ih(), &layer.b_hh()});
+      }
+    }
+    constexpr TrunkKind kind =
+        std::is_same_v<Net, Lstm> ? TrunkKind::Lstm : TrunkKind::Gru;
+    return std::make_unique<InferenceSession>(kind, weights, heads);
+  }
+
   std::vector<Parameter> parameters() override {
     return net_.parameters();
   }
@@ -74,16 +94,6 @@ class NetModel final : public SequenceModel {
 };
 
 }  // namespace
-
-const char* trunk_kind_name(TrunkKind kind) {
-  switch (kind) {
-    case TrunkKind::Lstm:
-      return "lstm";
-    case TrunkKind::Gru:
-      return "gru";
-  }
-  return "?";
-}
 
 std::unique_ptr<SequenceModel> make_sequence_model(TrunkKind kind,
                                                    std::size_t input,

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ml/gru.h"
+#include "ml/inference.h"
 #include "ml/lstm.h"
 #include "ml/module.h"
 #include "ml/tensor.h"
@@ -48,13 +49,15 @@ class SequenceModel : public Module {
 
   /// Deep copy (weights and gradients; no hidden state).
   virtual std::unique_ptr<SequenceModel> clone() const = 0;
+
+  /// Compiles the allocation-free inference plan: an immutable snapshot
+  /// of this trunk's current weights (optimizer updates and
+  /// load_parameters() writes after this call are NOT seen — compile a
+  /// new session). Optional fused linear heads run over the top hidden
+  /// output. See ml/inference.h for the bit-identity contract.
+  virtual std::unique_ptr<InferenceSession> make_inference_session(
+      const std::vector<InferenceSession::HeadWeights>& heads = {}) const = 0;
 };
-
-/// The trunk architectures available to the micro model.
-enum class TrunkKind { Lstm, Gru };
-
-/// Display name, e.g. "lstm".
-const char* trunk_kind_name(TrunkKind kind);
 
 /// Builds a trunk of the requested architecture.
 std::unique_ptr<SequenceModel> make_sequence_model(TrunkKind kind,

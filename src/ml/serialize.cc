@@ -8,7 +8,8 @@
 namespace esim::ml {
 namespace {
 
-constexpr std::uint32_t kMagic = 0x45534D4C;  // "ESML"
+constexpr std::uint32_t kMagicParams = 0x45534D4C;  // "ESML" (v1)
+constexpr std::uint32_t kMagicModel = 0x45534D32;   // "ESM2" (v2)
 
 void write_u32(std::ofstream& os, std::uint32_t v) {
   os.write(reinterpret_cast<const char*>(&v), sizeof v);
@@ -20,22 +21,95 @@ std::uint32_t read_u32(std::ifstream& is) {
   return v;
 }
 
+std::vector<WeightView> views_of(const std::vector<Parameter>& params) {
+  std::vector<WeightView> views;
+  views.reserve(params.size());
+  for (const auto& p : params) {
+    views.push_back(
+        {p.name, p.value->rows(), p.value->cols(), p.value->data()});
+  }
+  return views;
+}
+
+/// The shared named-weight payload: count, then per entry
+/// name-len/name/rows/cols and rows*cols raw doubles.
+void write_payload(std::ofstream& os, const std::vector<WeightView>& views) {
+  write_u32(os, static_cast<std::uint32_t>(views.size()));
+  for (const auto& v : views) {
+    write_u32(os, static_cast<std::uint32_t>(v.name.size()));
+    os.write(v.name.data(), static_cast<std::streamsize>(v.name.size()));
+    write_u32(os, static_cast<std::uint32_t>(v.rows));
+    write_u32(os, static_cast<std::uint32_t>(v.cols));
+    os.write(reinterpret_cast<const char*>(v.data),
+             static_cast<std::streamsize>(v.rows * v.cols * sizeof(double)));
+  }
+}
+
+void read_payload(std::ifstream& is, const std::vector<WeightView>& views,
+                  const std::string& what) {
+  const std::uint32_t count = read_u32(is);
+  if (!is) throw std::runtime_error(what + ": truncated file");
+  if (count != views.size()) {
+    throw std::runtime_error(what + ": parameter count mismatch");
+  }
+  std::unordered_map<std::string, const WeightView*> by_name;
+  for (const auto& v : views) by_name[v.name] = &v;
+
+  for (std::uint32_t k = 0; k < count; ++k) {
+    const std::uint32_t name_len = read_u32(is);
+    if (!is) throw std::runtime_error(what + ": truncated file");
+    std::string name(name_len, '\0');
+    is.read(name.data(), name_len);
+    const std::uint32_t rows = read_u32(is);
+    const std::uint32_t cols = read_u32(is);
+    if (!is) throw std::runtime_error(what + ": truncated file");
+    const auto it = by_name.find(name);
+    if (it == by_name.end()) {
+      throw std::runtime_error(what + ": unknown parameter " + name);
+    }
+    const WeightView& v = *it->second;
+    if (v.rows != rows || v.cols != cols) {
+      throw std::runtime_error(what + ": shape mismatch for " + name);
+    }
+    is.read(reinterpret_cast<char*>(v.data),
+            static_cast<std::streamsize>(v.rows * v.cols * sizeof(double)));
+    if (!is) throw std::runtime_error(what + ": truncated file");
+  }
+}
+
+ModelHeader read_model_header(std::ifstream& is, const std::string& path) {
+  if (read_u32(is) != kMagicModel) {
+    throw std::runtime_error("load_model: bad magic in " + path);
+  }
+  const std::uint32_t kind = read_u32(is);
+  ModelHeader h;
+  h.input = read_u32(is);
+  h.hidden = read_u32(is);
+  h.layers = read_u32(is);
+  h.heads = read_u32(is);
+  if (!is) throw std::runtime_error("load_model: truncated file");
+  switch (kind) {
+    case static_cast<std::uint32_t>(TrunkKind::Lstm):
+      h.trunk = TrunkKind::Lstm;
+      break;
+    case static_cast<std::uint32_t>(TrunkKind::Gru):
+      h.trunk = TrunkKind::Gru;
+      break;
+    default:
+      throw std::runtime_error("load_model: unknown trunk kind " +
+                               std::to_string(kind));
+  }
+  return h;
+}
+
 }  // namespace
 
 void save_parameters(const std::string& path,
                      const std::vector<Parameter>& params) {
   std::ofstream os{path, std::ios::binary | std::ios::trunc};
   if (!os) throw std::runtime_error("save_parameters: cannot open " + path);
-  write_u32(os, kMagic);
-  write_u32(os, static_cast<std::uint32_t>(params.size()));
-  for (const auto& p : params) {
-    write_u32(os, static_cast<std::uint32_t>(p.name.size()));
-    os.write(p.name.data(), static_cast<std::streamsize>(p.name.size()));
-    write_u32(os, static_cast<std::uint32_t>(p.value->rows()));
-    write_u32(os, static_cast<std::uint32_t>(p.value->cols()));
-    os.write(reinterpret_cast<const char*>(p.value->data()),
-             static_cast<std::streamsize>(p.value->size() * sizeof(double)));
-  }
+  write_u32(os, kMagicParams);
+  write_payload(os, views_of(params));
   if (!os) throw std::runtime_error("save_parameters: write failed");
 }
 
@@ -43,35 +117,39 @@ void load_parameters(const std::string& path,
                      const std::vector<Parameter>& params) {
   std::ifstream is{path, std::ios::binary};
   if (!is) throw std::runtime_error("load_parameters: cannot open " + path);
-  if (read_u32(is) != kMagic) {
+  if (read_u32(is) != kMagicParams) {
     throw std::runtime_error("load_parameters: bad magic in " + path);
   }
-  const std::uint32_t count = read_u32(is);
-  if (count != params.size()) {
-    throw std::runtime_error("load_parameters: parameter count mismatch");
-  }
-  std::unordered_map<std::string, const Parameter*> by_name;
-  for (const auto& p : params) by_name[p.name] = &p;
+  read_payload(is, views_of(params), "load_parameters");
+}
 
-  for (std::uint32_t k = 0; k < count; ++k) {
-    const std::uint32_t name_len = read_u32(is);
-    std::string name(name_len, '\0');
-    is.read(name.data(), name_len);
-    const std::uint32_t rows = read_u32(is);
-    const std::uint32_t cols = read_u32(is);
-    const auto it = by_name.find(name);
-    if (it == by_name.end()) {
-      throw std::runtime_error("load_parameters: unknown parameter " + name);
-    }
-    Tensor& t = *it->second->value;
-    if (t.rows() != rows || t.cols() != cols) {
-      throw std::runtime_error("load_parameters: shape mismatch for " +
-                               name);
-    }
-    is.read(reinterpret_cast<char*>(t.data()),
-            static_cast<std::streamsize>(t.size() * sizeof(double)));
-    if (!is) throw std::runtime_error("load_parameters: truncated file");
-  }
+void save_model(const std::string& path, const ModelHeader& header,
+                const std::vector<Parameter>& params) {
+  std::ofstream os{path, std::ios::binary | std::ios::trunc};
+  if (!os) throw std::runtime_error("save_model: cannot open " + path);
+  write_u32(os, kMagicModel);
+  write_u32(os, static_cast<std::uint32_t>(header.trunk));
+  write_u32(os, header.input);
+  write_u32(os, header.hidden);
+  write_u32(os, header.layers);
+  write_u32(os, header.heads);
+  write_payload(os, views_of(params));
+  if (!os) throw std::runtime_error("save_model: write failed");
+}
+
+ModelHeader load_model_header(const std::string& path) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw std::runtime_error("load_model: cannot open " + path);
+  return read_model_header(is, path);
+}
+
+ModelHeader load_model(const std::string& path,
+                       const std::vector<WeightView>& views) {
+  std::ifstream is{path, std::ios::binary};
+  if (!is) throw std::runtime_error("load_model: cannot open " + path);
+  const ModelHeader h = read_model_header(is, path);
+  read_payload(is, views, "load_model");
+  return h;
 }
 
 }  // namespace esim::ml

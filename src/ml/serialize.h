@@ -1,11 +1,22 @@
 // Parameter (de)serialization: lets a trained cluster model be saved once
 // and reused across simulations — the paper's "once trained they are
 // cheap to run, reusable" property.
+//
+// Two container formats share one named-weight payload:
+//   v1 "ESML" (save_parameters/load_parameters) — the bare payload,
+//     loaded by name into a live module tree;
+//   v2 "ESM2" (save_model/load_model) — an architecture header (trunk
+//     kind + dimensions) followed by the same payload. The header lets a
+//     consumer build an owning ml::InferenceSession and stream the
+//     weights straight into it, so a loaded model never materializes the
+//     training-side gradient tensors.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "ml/inference.h"
 #include "ml/module.h"
 
 namespace esim::ml {
@@ -19,5 +30,30 @@ void save_parameters(const std::string& path,
 /// mismatch or I/O failure.
 void load_parameters(const std::string& path,
                      const std::vector<Parameter>& params);
+
+/// Architecture header of a v2 model file: enough to size an
+/// InferenceSession without reading the weights.
+struct ModelHeader {
+  TrunkKind trunk = TrunkKind::Lstm;
+  std::uint32_t input = 0;
+  std::uint32_t hidden = 0;
+  std::uint32_t layers = 0;
+  std::uint32_t heads = 0;
+};
+
+/// Writes header + named-parameter payload as one model file.
+void save_model(const std::string& path, const ModelHeader& header,
+                const std::vector<Parameter>& params);
+
+/// Reads and validates just the header. Throws std::runtime_error on bad
+/// magic, an unknown trunk kind, or a truncated file.
+ModelHeader load_model_header(const std::string& path);
+
+/// Loads a model file's payload into raw weight views (no Tensors, no
+/// gradients). View names and shapes must match the file exactly; throws
+/// std::runtime_error on any mismatch, unknown trunk kind, or truncation.
+/// Returns the validated header.
+ModelHeader load_model(const std::string& path,
+                       const std::vector<WeightView>& views);
 
 }  // namespace esim::ml

@@ -212,6 +212,31 @@ TEST(MicroModel, ParametersIncludeNormalization) {
   EXPECT_TRUE(found);
 }
 
+// Regression: copying a model must reset the copy's recurrent state, not
+// share the source's streamed history — each ApproxCluster starts its
+// private copy from zero state.
+TEST(MicroModel, CopyResetsRecurrentState) {
+  MicroModel::Config cfg;
+  cfg.hidden = 8;
+  MicroModel m{cfg};
+  MicroModel fresh{m};  // identical weights, untouched state
+  PacketFeatures f;
+  f.v[0] = 0.5;
+  f.v[3] = -0.25;
+  for (int i = 0; i < 5; ++i) (void)m.predict(f);  // advance m's state
+
+  MicroModel copied{m};
+  MicroModel assigned{fresh};
+  assigned = m;
+  const auto expected = fresh.predict(f);  // first prediction, zero state
+  const auto from_copy = copied.predict(f);
+  const auto from_assign = assigned.predict(f);
+  EXPECT_EQ(from_copy.latency_seconds, expected.latency_seconds);
+  EXPECT_EQ(from_copy.drop_probability, expected.drop_probability);
+  EXPECT_EQ(from_assign.latency_seconds, expected.latency_seconds);
+  EXPECT_EQ(from_assign.drop_probability, expected.drop_probability);
+}
+
 // Runs a short full-fidelity 2-cluster simulation with a recorder on
 // cluster 1 and returns the recorder + generator stats.
 struct RecordedRun {

@@ -85,6 +85,7 @@ TEST(MicroModelSerialize, ReloadedModelPredictsIdentically) {
   other.seed = 999;  // different init; must be fully overwritten by load
   approx::MicroModel reloaded{other};
   ml::load_parameters(path, reloaded.parameters());
+  reloaded.recompile();  // sessions snapshot weights; re-snapshot the load
 
   // Identical streaming predictions over a feature sequence.
   approx::PacketFeatures f;

@@ -1,10 +1,14 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <span>
 
 #include "ml/activations.h"
+#include "ml/inference.h"
 #include "ml/linear.h"
 #include "ml/loss.h"
 #include "ml/lstm.h"
@@ -420,6 +424,118 @@ TEST(Serialize, ShapeMismatchThrows) {
   EXPECT_THROW(load_parameters(path, b.parameters()), std::runtime_error);
   EXPECT_THROW(load_parameters("/nonexistent/x.bin", a.parameters()),
                std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileThrows) {
+  Rng rng{12};
+  Lstm a{3, 4, 1, rng};
+  Lstm b{3, 4, 1, rng};
+  const std::string path = ::testing::TempDir() + "/esim_ml_truncated.bin";
+  save_parameters(path, a.parameters());
+  // Cut the file at various points: mid-payload, mid-header, mid-name.
+  for (const long keep : {16L, 9L, 120L}) {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+    const long size = std::ftell(f);
+    ASSERT_GT(size, keep);
+    std::fclose(f);
+    ASSERT_EQ(truncate(path.c_str(), keep), 0);
+    EXPECT_THROW(load_parameters(path, b.parameters()), std::runtime_error)
+        << "kept " << keep << " bytes";
+    save_parameters(path, a.parameters());  // restore for the next cut
+  }
+  std::remove(path.c_str());
+}
+
+// The v2 model container: header round-trip plus every load error path.
+TEST(Serialize, ModelHeaderRoundTrip) {
+  Rng rng{13};
+  Lstm a{3, 4, 2, rng};
+  ModelHeader header;
+  header.trunk = TrunkKind::Lstm;
+  header.input = 3;
+  header.hidden = 4;
+  header.layers = 2;
+  header.heads = 0;
+  const std::string path = ::testing::TempDir() + "/esim_ml_model.bin";
+  save_model(path, header, a.parameters());
+
+  const ModelHeader h = load_model_header(path);
+  EXPECT_EQ(h.trunk, TrunkKind::Lstm);
+  EXPECT_EQ(h.input, 3u);
+  EXPECT_EQ(h.hidden, 4u);
+  EXPECT_EQ(h.layers, 2u);
+  EXPECT_EQ(h.heads, 0u);
+
+  // Payload loads into raw buffers, no Tensors involved.
+  InferenceSession session{InferenceSession::Arch{
+      TrunkKind::Lstm, 3, 4, 2, {}}};
+  load_model(path, session.weight_views("", {}));
+  session.repack();
+  Tensor x{1, 3, {0.2, -0.4, 0.9}};
+  auto state = a.initial_state(1);
+  const Tensor ref = a.step(x, state);
+  const auto out = session.predict(std::span<const double>{x.data(), 3});
+  ASSERT_EQ(out.size(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_EQ(out[j], ref.at(0, j));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ModelUnknownTrunkKindThrows) {
+  Rng rng{14};
+  Lstm a{3, 4, 1, rng};
+  ModelHeader header;
+  header.trunk = TrunkKind::Lstm;
+  header.input = 3;
+  header.hidden = 4;
+  header.layers = 1;
+  const std::string path = ::testing::TempDir() + "/esim_ml_badkind.bin";
+  save_model(path, header, a.parameters());
+  // Corrupt the trunk-kind field (bytes 4..8, after the magic).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  const std::uint32_t bogus = 7;
+  ASSERT_EQ(std::fseek(f, 4, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&bogus, sizeof bogus, 1, f), 1u);
+  std::fclose(f);
+  EXPECT_THROW(load_model_header(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, ModelErrorPaths) {
+  Rng rng{15};
+  Lstm a{3, 4, 1, rng};
+  ModelHeader header;
+  header.trunk = TrunkKind::Lstm;
+  header.input = 3;
+  header.hidden = 4;
+  header.layers = 1;
+  const std::string path = ::testing::TempDir() + "/esim_ml_modelerr.bin";
+  save_model(path, header, a.parameters());
+
+  // Missing file, v1 file where a v2 container is expected (bad magic).
+  EXPECT_THROW(load_model_header("/nonexistent/x.bin"), std::runtime_error);
+  const std::string v1 = ::testing::TempDir() + "/esim_ml_v1.bin";
+  save_parameters(v1, a.parameters());
+  EXPECT_THROW(load_model_header(v1), std::runtime_error);
+  std::remove(v1.c_str());
+
+  // Dimension mismatch: views shaped for a hidden-5 trunk.
+  InferenceSession wrong{InferenceSession::Arch{TrunkKind::Lstm, 3, 5, 1, {}}};
+  EXPECT_THROW(load_model(path, wrong.weight_views("", {})),
+               std::runtime_error);
+
+  // Count mismatch: too few views for the payload.
+  InferenceSession right{InferenceSession::Arch{TrunkKind::Lstm, 3, 4, 1, {}}};
+  auto views = right.weight_views("", {});
+  views.pop_back();
+  EXPECT_THROW(load_model(path, views), std::runtime_error);
+
+  // Truncation inside the v2 header.
+  ASSERT_EQ(truncate(path.c_str(), 12), 0);
+  EXPECT_THROW(load_model_header(path), std::runtime_error);
   std::remove(path.c_str());
 }
 
