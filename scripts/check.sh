@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
-# Builds the default and asan-ubsan presets and runs the full test suite
-# under both, then builds the tsan preset and runs the threaded tests
-# (ParallelEngine, PDES networks, telemetry) under ThreadSanitizer. ASan
-# catches lifetime bugs in the FES inline storage, UBSan misaligned
-# placement-new and signed overflow, TSan races between PDES partitions —
-# including concurrent logging and shared telemetry instruments.
+# Builds the default and asan-ubsan presets and runs the CTest tiers
+# explicitly — unit, integration, slow — under both, then builds the
+# tsan preset and runs the threaded tests (ParallelEngine, PDES
+# networks, telemetry) under ThreadSanitizer. ASan catches lifetime bugs
+# in the FES inline storage, UBSan misaligned placement-new and signed
+# overflow, TSan races between PDES partitions — including concurrent
+# logging and shared telemetry instruments.
 #
-# Usage: scripts/check.sh [-jN]
+# Opt-in extras:
+#   ESIM_CHECK_FUZZ=1      also run the differential fuzz tier
+#                          (`ctest -L fuzz`: esim_diffcheck selftest +
+#                          25-scenario engine-equivalence sweep) under
+#                          default and asan-ubsan.
+#   ESIM_CHECK_COVERAGE=1  also build the coverage preset, run the unit
+#                          + integration tiers under it, and print the
+#                          src/sim + src/core line-coverage summary
+#                          (scripts/coverage_summary.sh).
+#
+# Usage: [ESIM_CHECK_FUZZ=1] [ESIM_CHECK_COVERAGE=1] scripts/check.sh [-jN]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,13 +26,20 @@ if [[ $# -ge 1 && $1 == -j* ]]; then
   jobs=$1
 fi
 
+tiers=(unit integration slow)
+if [[ "${ESIM_CHECK_FUZZ:-0}" == "1" ]]; then
+  tiers+=(fuzz)
+fi
+
 for preset in default asan-ubsan; do
   echo "=== preset: ${preset} — configure ==="
   cmake --preset "${preset}"
   echo "=== preset: ${preset} — build ==="
   cmake --build --preset "${preset}" "${jobs}"
-  echo "=== preset: ${preset} — test ==="
-  ctest --preset "${preset}" "${jobs}"
+  for tier in "${tiers[@]}"; do
+    echo "=== preset: ${preset} — test tier: ${tier} ==="
+    ctest --preset "${preset}" "${jobs}" -L "${tier}"
+  done
 done
 
 # The inference bench doubles as a sanitizer workout for the packed
@@ -38,5 +56,19 @@ cmake --build --preset tsan "${jobs}"
 echo "=== preset: tsan — test (threaded suites) ==="
 ctest --preset tsan "${jobs}" -R \
   'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace'
+
+if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
+  echo "=== preset: coverage — configure ==="
+  cmake --preset coverage
+  echo "=== preset: coverage — build ==="
+  cmake --build --preset coverage "${jobs}"
+  find build-coverage -name '*.gcda' -delete
+  for tier in unit integration; do
+    echo "=== preset: coverage — test tier: ${tier} ==="
+    ctest --preset coverage "${jobs}" -L "${tier}"
+  done
+  echo "=== coverage summary (src/sim, src/core) ==="
+  scripts/coverage_summary.sh build-coverage
+fi
 
 echo "All presets passed."

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Line-coverage summary for the determinism-critical layers (src/sim and
+# src/core), computed with plain gcov from a `coverage`-preset build —
+# no gcovr/lcov dependency.
+#
+# Usage:
+#   cmake --preset coverage && cmake --build --preset coverage -j
+#   ctest --preset coverage -j        # or any tier: ctest ... -L unit
+#   scripts/coverage_summary.sh [build-dir]     (default: build-coverage)
+#
+# Counts accumulate across every test binary that ran (the static-lib
+# objects share one .gcda per source); re-run `find <build> -name
+# '*.gcda' -delete` to reset between measurements.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build="${1:-build-coverage}"
+if [[ ! -d "${build}" ]]; then
+  echo "error: ${build} does not exist — configure the 'coverage' preset first" >&2
+  exit 1
+fi
+
+summarize_layer() {
+  local layer="$1"
+  local objdir="${build}/src/${layer}"
+  mapfile -t gcda < <(find "${objdir}" -name '*.gcda' 2>/dev/null | sort)
+  if [[ ${#gcda[@]} -eq 0 ]]; then
+    echo "src/${layer}: no .gcda files under ${objdir} — run the tests first" >&2
+    return 1
+  fi
+  # `gcov -n` prints, per source file the object touches,
+  #   File '<path>'
+  #   Lines executed:<pct>% of <total>
+  # Restrict to the layer's own .cc files: each appears exactly once (in
+  # its own object's report), so the sum is exact. Headers show up once
+  # per includer with per-object counts and would double-count.
+  (cd "${objdir}" && gcov -n "${gcda[@]#"${objdir}"/}" 2>/dev/null) |
+    awk -v layer="src/${layer}/" '
+      /^File / {
+        file = $2
+        gsub(/\x27/, "", file)
+        want = index(file, layer) > 0 && file ~ /\.cc$/
+        # Strip everything before the layer directory for display.
+        sub(/.*src\//, "src/", file)
+      }
+      want && /^Lines executed:/ {
+        pct = $0; sub(/^Lines executed:/, "", pct); sub(/%.*/, "", pct)
+        total = $0; sub(/.* of /, "", total)
+        covered = int(pct / 100 * total + 0.5)
+        if (!(file in seen)) order[n++] = file
+        seen[file] += 0
+        file_cov[file] += covered
+        file_tot[file] += total
+        want = 0
+      }
+      END {
+        grand_cov = 0; grand_tot = 0
+        for (i = 0; i < n; i++) {
+          f = order[i]
+          printf "  %-44s %6.1f%%  (%d/%d lines)\n",
+                 f, 100.0 * file_cov[f] / file_tot[f], file_cov[f], file_tot[f]
+          grand_cov += file_cov[f]; grand_tot += file_tot[f]
+        }
+        printf "  %-44s %6.1f%%  (%d/%d lines)\n",
+               "TOTAL " layer, 100.0 * grand_cov / grand_tot, grand_cov, grand_tot
+      }'
+}
+
+status=0
+for layer in sim core; do
+  echo "=== line coverage: src/${layer} ==="
+  summarize_layer "${layer}" || status=1
+done
+exit "${status}"

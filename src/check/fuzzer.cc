@@ -1,0 +1,146 @@
+#include "check/fuzzer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace esim::check {
+namespace {
+
+constexpr std::uint64_t kMss = 1460;
+
+bool is_valid(const Scenario& sc) {
+  try {
+    sc.validate();
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Scenario ScenarioFuzzer::next() {
+  Scenario sc;
+  // Seeds feed the engine (component RNG forks); keep them odd and
+  // non-zero so no scenario lands on a degenerate zero state.
+  sc.seed = rng_.next_u64() | 1;
+  sc.tors = 2 + static_cast<std::uint32_t>(rng_.uniform_int(3));       // 2..4
+  sc.spines = 1 + static_cast<std::uint32_t>(rng_.uniform_int(4));     // 1..4
+  sc.hosts_per_tor = 1 + static_cast<std::uint32_t>(rng_.uniform_int(3));
+
+  // Queue depth spans "never drops" down to "drops under any incast".
+  static constexpr std::uint32_t kQueues[] = {12'000, 30'000, 60'000,
+                                              150'000};
+  sc.queue_bytes = kQueues[rng_.uniform_int(std::size(kQueues))];
+
+  switch (rng_.uniform_int(3)) {
+    case 0: sc.tcp = TcpVariant::NewReno; break;
+    case 1: sc.tcp = TcpVariant::DelayedAck; break;
+    default: sc.tcp = TcpVariant::Dctcp; break;
+  }
+  sc.ecn_threshold =
+      sc.tcp == TcpVariant::Dctcp ? std::min(30'000u, sc.queue_bytes / 2) : 0;
+
+  sc.duration_ns = 2'000'000 + static_cast<std::int64_t>(
+                                   rng_.uniform_int(3) * 1'000'000);
+
+  const std::uint32_t n_flows =
+      options_.min_flows +
+      static_cast<std::uint32_t>(
+          rng_.uniform_int(options_.max_flows - options_.min_flows + 1));
+  // Start times: globally unique at ns granularity, confined to the first
+  // half of the horizon so short flows usually finish inside it.
+  std::set<std::int64_t> starts;
+  for (std::uint32_t i = 0; i < n_flows; ++i) {
+    FlowSpec f;
+    f.src = static_cast<net::HostId>(rng_.uniform_int(sc.total_hosts()));
+    do {
+      f.dst = static_cast<net::HostId>(rng_.uniform_int(sc.total_hosts()));
+    } while (f.dst == f.src);
+    f.bytes = kMss * (1 + rng_.uniform_int(options_.max_flow_mss));
+    do {
+      f.start_ns = static_cast<std::int64_t>(
+          rng_.uniform_int(static_cast<std::uint64_t>(sc.duration_ns / 2)));
+    } while (!starts.insert(f.start_ns).second);
+    f.flow_id = i + 1;
+    sc.flows.push_back(f);
+  }
+  sc.validate();
+  return sc;
+}
+
+Scenario ScenarioFuzzer::shrink(
+    const Scenario& failing,
+    const std::function<bool(const Scenario&)>& still_fails) const {
+  Scenario sc = failing;
+  int evals = 0;
+
+  // Accepts `cand` as the new baseline when it is valid and still fails.
+  auto accept = [&](const Scenario& cand) {
+    if (evals >= options_.max_shrink_evals) return false;
+    if (!is_valid(cand)) return false;
+    ++evals;
+    if (!still_fails(cand)) return false;
+    sc = cand;
+    return true;
+  };
+
+  bool progress = true;
+  while (progress && evals < options_.max_shrink_evals) {
+    progress = false;
+
+    // 1. Drop flows, ddmin-style: large chunks first, then singles.
+    for (std::size_t chunk = std::max<std::size_t>(sc.flows.size() / 2, 1);
+         chunk >= 1; chunk /= 2) {
+      for (std::size_t i = 0; i < sc.flows.size() && sc.flows.size() > 1;) {
+        Scenario cand = sc;
+        const auto first = cand.flows.begin() + static_cast<std::ptrdiff_t>(i);
+        const auto last =
+            cand.flows.begin() +
+            static_cast<std::ptrdiff_t>(std::min(i + chunk, cand.flows.size()));
+        cand.flows.erase(first, last);
+        if (accept(cand)) {
+          progress = true;  // keep i: the next chunk slid into place
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // 2. Halve flow sizes (floor one MSS).
+    for (std::size_t i = 0; i < sc.flows.size(); ++i) {
+      if (sc.flows[i].bytes <= kMss) continue;
+      Scenario cand = sc;
+      cand.flows[i].bytes = std::max(kMss, cand.flows[i].bytes / 2);
+      if (accept(cand)) progress = true;
+    }
+
+    // 3. Shave topology. Host ids are ToR-major, so dropping the last ToR
+    // (or a host slot) only invalidates flows whose endpoints fall off the
+    // end — validate() rejects those candidates and accept() skips them.
+    while (sc.spines > 1) {
+      Scenario cand = sc;
+      --cand.spines;
+      if (!accept(cand)) break;
+      progress = true;
+    }
+    while (sc.tors > 2) {
+      Scenario cand = sc;
+      --cand.tors;
+      if (!accept(cand)) break;
+      progress = true;
+    }
+
+    // 4. Halve the horizon while every flow still starts inside it.
+    while (true) {
+      Scenario cand = sc;
+      cand.duration_ns /= 2;
+      if (cand.duration_ns < 100'000 || !accept(cand)) break;
+      progress = true;
+    }
+  }
+  return sc;
+}
+
+}  // namespace esim::check

@@ -174,7 +174,7 @@ void ApproxCluster::deliver_egress(Packet pkt, double latency_s) {
     core->handle_packet(std::move(pkt));
   };
   if (core_index < core_remotes_.size() && core_remotes_[core_index]) {
-    core_remotes_[core_index](*granted, std::move(deliver));
+    core_remotes_[core_index](*granted, /*key=*/0, std::move(deliver));
   } else {
     schedule_at(*granted, std::move(deliver));
   }

@@ -102,8 +102,9 @@ PartitionedHybridNetwork build_hybrid_network_partitioned(
     return a + "->" + b;
   };
   auto cross = [&engine](std::uint32_t from, std::uint32_t to) {
-    return [&engine, from, to](sim::SimTime at, sim::EventFn fn) {
-      engine.send_cross(from, to, at, std::move(fn));
+    return [&engine, from, to](sim::SimTime at, std::uint64_t key,
+                               sim::EventFn fn) {
+      engine.send_cross(from, to, at, key, std::move(fn));
     };
   };
 

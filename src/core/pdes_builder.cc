@@ -72,9 +72,9 @@ PdesNetwork build_leaf_spine_partitioned(sim::ParallelEngine& engine,
     Link* link = psim.add_component<Link>(name, lcfg, dst);
     if (owner_partition != dst_partition) {
       link->set_remote_scheduler(
-          [&engine, owner_partition, dst_partition](sim::SimTime at,
-                                                    sim::EventFn fn) {
-            engine.send_cross(owner_partition, dst_partition, at,
+          [&engine, owner_partition, dst_partition](
+              sim::SimTime at, std::uint64_t key, sim::EventFn fn) {
+            engine.send_cross(owner_partition, dst_partition, at, key,
                               std::move(fn));
           });
       ++out.cross_partition_links;

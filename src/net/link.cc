@@ -72,14 +72,18 @@ void Link::finish_transmit(Packet pkt) {
   if (on_transmit) on_transmit(pkt, arrive_at);
   ++counter_.delivered;
   if (m_delivered_ != nullptr) m_delivered_->inc();
+  // Deliveries are keyed by packet id so same-instant arrivals at the
+  // receiver order identically under every engine (see event_queue.h).
+  const std::uint64_t key = pkt.id;
   if (remote_) {
-    remote_(arrive_at, [dst = dst_, pkt = std::move(pkt)]() mutable {
+    remote_(arrive_at, key, [dst = dst_, pkt = std::move(pkt)]() mutable {
       dst->handle_packet(std::move(pkt));
     });
   } else {
-    schedule_at(arrive_at, [dst = dst_, pkt = std::move(pkt)]() mutable {
-      dst->handle_packet(std::move(pkt));
-    });
+    sim().schedule_at_keyed(arrive_at, key,
+                            [dst = dst_, pkt = std::move(pkt)]() mutable {
+                              dst->handle_packet(std::move(pkt));
+                            });
   }
   pump();
 }

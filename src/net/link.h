@@ -35,11 +35,14 @@ class PacketHandler {
 };
 
 /// Schedules `fn` at absolute virtual time `at` on the *receiving* end's
-/// engine. Used for links that cross PDES partitions. Takes the event
-/// payload as a sim::EventFn so per-packet delivery closures ride the
-/// FES's small-buffer path end to end (no std::function boxing at the
-/// partition boundary).
-using RemoteScheduler = std::function<void(sim::SimTime at, sim::EventFn fn)>;
+/// engine, with the FES same-time priority `key` (the packet id for link
+/// deliveries; see event_queue.h) preserved across the boundary. Used for
+/// links that cross PDES partitions. Takes the event payload as a
+/// sim::EventFn so per-packet delivery closures ride the FES's
+/// small-buffer path end to end (no std::function boxing at the partition
+/// boundary).
+using RemoteScheduler =
+    std::function<void(sim::SimTime at, std::uint64_t key, sim::EventFn fn)>;
 
 /// Unidirectional link: drop-tail queue + serializer + propagation wire.
 class Link : public sim::Component {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace esim::sim {
@@ -28,10 +29,10 @@ void EventQueue::release_slot(std::uint32_t slot) {
   free_head_ = slot;
 }
 
-EventHandle EventQueue::schedule(SimTime t, EventFn fn) {
+EventHandle EventQueue::schedule(SimTime t, std::uint64_t key, EventFn fn) {
   const std::uint32_t slot = acquire_slot(std::move(fn));
   const std::uint32_t gen = slots_[slot].gen;
-  heap_.push_back(Entry{t, next_seq_++, slot, gen});
+  heap_.push_back(Entry{t, key, next_seq_++, slot, gen});
   sift_up(heap_.size() - 1);
   ++live_;
   ++total_scheduled_;
@@ -63,11 +64,21 @@ std::optional<Event> EventQueue::pop() {
   prune_top();
   if (heap_.empty()) return std::nullopt;
   const Entry e = heap_.front();
-  Event out{e.time, handle_id(e.slot, e.gen), std::move(slots_[e.slot].fn)};
+  Event out{e.time, handle_id(e.slot, e.gen), e.seq,
+            std::move(slots_[e.slot].fn)};
   release_slot(e.slot);
   --live_;
   remove_top();
   return out;
+}
+
+void EventQueue::debug_set_invert_tiebreak(bool on) {
+  if (total_scheduled_ != 0) {
+    throw std::logic_error(
+        "debug_set_invert_tiebreak: must be called before any event is "
+        "scheduled (the heap is ordered under the old comparator)");
+  }
+  debug_invert_tiebreak_ = on;
 }
 
 void EventQueue::clear() {

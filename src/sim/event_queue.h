@@ -1,11 +1,20 @@
-// The future-event set: a 4-ary min-heap keyed on (time, sequence number).
+// The future-event set: a 4-ary min-heap keyed on (time, key, sequence
+// number).
 //
-// The sequence number guarantees a total, deterministic order even among
-// events scheduled for the same instant: ties break in scheduling order,
+// `key` is an optional caller-supplied priority (0 for ordinary events)
+// that orders same-time events by *content* rather than scheduling
+// history: link deliveries use the packet id, so two packets reaching a
+// switch at the same instant enqueue in the same order under every engine
+// — sequential or PDES at any partition count — even though their FES
+// insertion sequences differ. The insertion sequence number remains the
+// final tie-break, guaranteeing a total, deterministic order among events
+// with equal (time, key); zero-key ties break in scheduling order,
 // matching the behaviour of OMNeT++'s FES that the paper's prototype
-// extends. That (time, seq) total order is a determinism contract:
+// extends. That (time, key, seq) total order is a determinism contract:
 // ParallelEngine::drain_inbox relies on it to make cross-partition message
-// delivery reproducible, so any FES rework must preserve it bit-for-bit.
+// delivery reproducible, and the differential harness (src/check) verifies
+// it digest-for-digest across engines, so any FES rework must preserve it
+// bit-for-bit.
 //
 // Layout: heap entries are 24-byte (time, seq, slot, generation) records —
 // small enough that a 4-ary heap keeps parent and children within one or
@@ -40,18 +49,31 @@ struct EventHandle {
 struct Event {
   SimTime time;
   std::uint64_t id = 0;
+  /// FES insertion sequence — the tie-break that ordered this event among
+  /// same-(time, key) peers. Exposed so the determinism harness can
+  /// fingerprint pop order including tie resolution.
+  std::uint64_t seq = 0;
   EventFn fn;
 };
 
-/// 4-ary min-heap of events ordered by (time, insertion sequence).
+/// 4-ary min-heap of events ordered by (time, key, insertion sequence).
 ///
 /// Not thread-safe: in parallel runs each partition owns its own queue.
 class EventQueue {
  public:
   EventQueue() = default;
 
-  /// Schedules `fn` at absolute time `t`. Returns a handle for cancellation.
-  EventHandle schedule(SimTime t, EventFn fn);
+  /// Schedules `fn` at absolute time `t` with key 0. Returns a handle for
+  /// cancellation.
+  EventHandle schedule(SimTime t, EventFn fn) {
+    return schedule(t, 0, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t` with an explicit same-time
+  /// priority key (smaller keys execute first; 0 precedes all keyed
+  /// events). Keys must be engine-invariant values (e.g. packet ids) —
+  /// that is the whole point.
+  EventHandle schedule(SimTime t, std::uint64_t key, EventFn fn);
 
   /// Cancels a previously scheduled event, destroying its closure
   /// immediately. Returns false if the event already executed or was
@@ -80,11 +102,21 @@ class EventQueue {
   /// Drops all pending events.
   void clear();
 
+  /// TEST-ONLY (determinism harness): when enabled, the same-time ordering
+  /// is reversed — keyed events break ties in *descending* key order and
+  /// zero-key ties in *reverse* insertion order — a deliberate violation
+  /// of the determinism contract, used by tools/esim_diffcheck to prove
+  /// the differential harness catches ordering bugs. Must be set before
+  /// the first schedule() (flipping it later would corrupt the heap
+  /// invariant); throws otherwise.
+  void debug_set_invert_tiebreak(bool on);
+
  private:
-  /// 24 bytes; the closure lives in slots_[slot] while gen matches.
+  /// 32 bytes; the closure lives in slots_[slot] while gen matches.
   struct Entry {
     SimTime time;
-    std::uint64_t seq;  // insertion order; tie-break for equal times
+    std::uint64_t key;  // same-time priority; 0 = ordinary event
+    std::uint64_t seq;  // insertion order; tie-break for equal (time, key)
     std::uint32_t slot;
     std::uint32_t gen;
   };
@@ -104,9 +136,16 @@ class EventQueue {
   /// Compaction below this size isn't worth the rebuild.
   static constexpr std::size_t kCompactMin = 64;
 
-  static bool later(const Entry& a, const Entry& b) {
+  bool later(const Entry& a, const Entry& b) const {
     if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+    // Same-time events order by engine-invariant key first (packet ids on
+    // link deliveries), then insertion order (the determinism contract).
+    // The harness's injected ordering bug reverses the whole same-time
+    // ordering, key included.
+    if (a.key != b.key) {
+      return debug_invert_tiebreak_ ? a.key < b.key : a.key > b.key;
+    }
+    return debug_invert_tiebreak_ ? a.seq < b.seq : a.seq > b.seq;
   }
 
   static constexpr std::uint64_t handle_id(std::uint32_t slot,
@@ -139,6 +178,7 @@ class EventQueue {
   std::size_t dead_in_heap_ = 0;
   std::uint64_t next_seq_ = 1;
   std::uint64_t total_scheduled_ = 0;
+  bool debug_invert_tiebreak_ = false;
 };
 
 }  // namespace esim::sim

@@ -39,7 +39,7 @@ std::size_t Partition::drain_inbox() {
               return a.source_seq < b.source_seq;
             });
   for (auto& m : batch) {
-    sim_.schedule_at(m.deliver_at, std::move(m.fn));
+    sim_.schedule_at_keyed(m.deliver_at, m.key, std::move(m.fn));
   }
   return batch.size();
 }
@@ -92,7 +92,8 @@ void ParallelEngine::set_telemetry(telemetry::Registry* registry) {
 }
 
 void ParallelEngine::send_cross(std::uint32_t from, std::uint32_t to,
-                                SimTime deliver_at, EventFn fn) {
+                                SimTime deliver_at, std::uint64_t key,
+                                EventFn fn) {
   Partition& src = *partitions_.at(from);
   if (deliver_at < src.sim().now() + config_.lookahead) {
     throw std::logic_error(
@@ -102,7 +103,8 @@ void ParallelEngine::send_cross(std::uint32_t from, std::uint32_t to,
   }
   const std::uint64_t seq =
       send_seq_[from].fetch_add(1, std::memory_order_relaxed);
-  partitions_.at(to)->post(CrossMessage{deliver_at, from, seq, std::move(fn)});
+  partitions_.at(to)->post(
+      CrossMessage{deliver_at, key, from, seq, std::move(fn)});
   round_messages_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -36,6 +36,9 @@ namespace esim::sim {
 /// A timestamped closure crossing a partition boundary.
 struct CrossMessage {
   SimTime deliver_at;
+  /// FES same-time priority key, preserved into the target partition's
+  /// event queue (packet id for link deliveries; see event_queue.h).
+  std::uint64_t key = 0;
   std::uint32_t source_partition = 0;
   std::uint64_t source_seq = 0;  // per-source counter; makes drains sortable
   EventFn fn;
@@ -131,7 +134,14 @@ class ParallelEngine {
   /// `deliver_at`. Must satisfy deliver_at >= sender's now + lookahead;
   /// violations throw (they would break conservative causality).
   void send_cross(std::uint32_t from, std::uint32_t to, SimTime deliver_at,
-                  EventFn fn);
+                  EventFn fn) {
+    send_cross(from, to, deliver_at, 0, std::move(fn));
+  }
+
+  /// As above, carrying an FES same-time priority key into the target
+  /// partition's event queue (packet id for link deliveries).
+  void send_cross(std::uint32_t from, std::uint32_t to, SimTime deliver_at,
+                  std::uint64_t key, EventFn fn);
 
   /// Runs all partitions to virtual time `end` using worker threads.
   /// Blocking; may be called repeatedly to extend a run.

@@ -20,6 +20,15 @@ EventHandle Simulator::schedule_at(SimTime t, EventFn fn) {
   return queue_.schedule(t, std::move(fn));
 }
 
+EventHandle Simulator::schedule_at_keyed(SimTime t, std::uint64_t key,
+                                         EventFn fn) {
+  if (t < now_) {
+    throw std::logic_error("schedule_at_keyed: time " + t.to_string() +
+                           " is in the past (now=" + now_.to_string() + ")");
+  }
+  return queue_.schedule(t, key, std::move(fn));
+}
+
 EventHandle Simulator::schedule_in(SimTime d, EventFn fn) {
   if (d < SimTime{}) {
     throw std::logic_error("schedule_in: negative delay " + d.to_string());
@@ -35,6 +44,7 @@ bool Simulator::step() {
   assert(ev->time >= now_);
   now_ = ev->time;
   ++events_executed_;
+  if (pop_observer_ != nullptr) pop_observer_->on_event_pop(ev->time, ev->seq);
   ev->fn();
   return true;
 }

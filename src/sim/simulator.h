@@ -25,6 +25,19 @@ namespace esim::sim {
 
 class Component;
 
+/// Observer of the engine's event pop stream. Installed by the
+/// differential-determinism harness (src/check) to fingerprint execution
+/// order; costs one branch per event when absent (the telemetry pattern).
+class PopObserver {
+ public:
+  virtual ~PopObserver() = default;
+
+  /// Called once per executed event, before its closure runs. `time` is
+  /// the event's virtual time (== now() at execution), `seq` the FES
+  /// insertion sequence that broke any same-time tie.
+  virtual void on_event_pop(SimTime time, std::uint64_t seq) = 0;
+};
+
 /// Discrete-event simulation engine: virtual clock + future-event set.
 ///
 /// Typical use:
@@ -47,6 +60,13 @@ class Simulator {
 
   /// Schedules `fn` at absolute virtual time `t` (must be >= now()).
   EventHandle schedule_at(SimTime t, EventFn fn);
+
+  /// Schedules `fn` at `t` with an engine-invariant same-time priority key
+  /// (smaller first; key 0 — every plain schedule — precedes all keyed
+  /// events). Links key packet deliveries by packet id so same-instant
+  /// arrivals at a switch order identically under every engine; see
+  /// event_queue.h.
+  EventHandle schedule_at_keyed(SimTime t, std::uint64_t key, EventFn fn);
 
   /// Schedules `fn` after a delay of `d` (must be >= 0).
   EventHandle schedule_in(SimTime d, EventFn fn);
@@ -101,6 +121,22 @@ class Simulator {
   /// construction, never on the hot path.
   telemetry::Registry* telemetry() const { return telemetry_; }
 
+  /// Installs an event-pop observer (or nullptr to remove it). The
+  /// observer sees every executed event's (time, tie-break seq) before the
+  /// closure runs. Zero cost when absent: step() pays one null check, the
+  /// same contract as telemetry. The observer must outlive the run.
+  void set_pop_observer(PopObserver* observer) { pop_observer_ = observer; }
+
+  /// The installed pop observer, or nullptr.
+  PopObserver* pop_observer() const { return pop_observer_; }
+
+  /// TEST-ONLY: forwards to EventQueue::debug_set_invert_tiebreak — the
+  /// determinism harness's injected ordering bug. Throws if any event has
+  /// already been scheduled on this engine.
+  void debug_invert_fes_tiebreak(bool on) {
+    queue_.debug_set_invert_tiebreak(on);
+  }
+
   /// Constructs a component in place, registers it under its name, and
   /// returns a non-owning pointer. The simulator owns the component.
   template <typename T, typename... Args>
@@ -127,6 +163,7 @@ class Simulator {
   Rng rng_;
   Logger logger_;
   telemetry::Registry* telemetry_ = nullptr;
+  PopObserver* pop_observer_ = nullptr;
   bool stopped_ = false;
   std::uint64_t events_executed_ = 0;
   std::vector<std::unique_ptr<Component>> components_;

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -40,6 +41,68 @@ TEST(EventQueue, TiesBreakInSchedulingOrder) {
   std::vector<int> expect(10);
   for (int i = 0; i < 10; ++i) expect[i] = i;
   EXPECT_EQ(order, expect);
+}
+
+TEST(EventQueue, SameTimeKeyedEventsPopInKeyOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_us(5);
+  // Inserted in descending key order; must pop ascending by key.
+  q.schedule(t, 30, [&] { order.push_back(30); });
+  q.schedule(t, 10, [&] { order.push_back(10); });
+  q.schedule(t, 20, [&] { order.push_back(20); });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventQueue, ZeroKeyPrecedesKeyedAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_us(5);
+  q.schedule(t, 7, [&] { order.push_back(1); });
+  q.schedule(t, [&] { order.push_back(0); });  // plain schedule: key 0
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+TEST(EventQueue, KeyOrdersOnlyWithinOneInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::from_ns(20), 1, [&] { order.push_back(2); });
+  q.schedule(SimTime::from_ns(10), 99, [&] { order.push_back(1); });
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));  // time dominates key
+}
+
+TEST(EventQueue, EqualKeysFallBackToSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  const auto t = SimTime::from_us(5);
+  for (int i = 0; i < 5; ++i) {
+    q.schedule(t, 42, [&order, i] { order.push_back(i); });
+  }
+  while (auto e = q.pop()) e->fn();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, DebugInvertReversesSameTimeOrdering) {
+  EventQueue q;
+  q.debug_set_invert_tiebreak(true);
+  std::vector<int> order;
+  const auto t = SimTime::from_us(5);
+  q.schedule(t, 10, [&] { order.push_back(10); });
+  q.schedule(t, 20, [&] { order.push_back(20); });
+  q.schedule(t, [&] { order.push_back(1); });  // key 0
+  q.schedule(t, [&] { order.push_back(2); });  // key 0
+  while (auto e = q.pop()) e->fn();
+  // Inverted: descending key first, zero-key ties in reverse insertion.
+  EXPECT_EQ(order, (std::vector<int>{20, 10, 2, 1}));
+}
+
+TEST(EventQueue, DebugInvertAfterScheduleThrows) {
+  EventQueue q;
+  q.schedule(SimTime::from_ns(1), [] {});
+  EXPECT_THROW(q.debug_set_invert_tiebreak(true), std::logic_error);
 }
 
 TEST(EventQueue, NextTimeTracksEarliest) {

@@ -176,6 +176,44 @@ TEST(EmpiricalCdf, EmptyBehaviour) {
   EXPECT_TRUE(c.curve(5).empty());
 }
 
+TEST(EmpiricalCdf, SingleSampleDegenerateDistribution) {
+  EmpiricalCdf c;
+  c.add(3.5);
+  EXPECT_EQ(c.size(), 1u);
+  // Every quantile of a one-point distribution is that point.
+  for (double p : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(c.quantile(p), 3.5);
+  }
+  EXPECT_DOUBLE_EQ(c.min(), 3.5);
+  EXPECT_DOUBLE_EQ(c.max(), 3.5);
+  // The CDF is a unit step at the sample.
+  EXPECT_DOUBLE_EQ(c.at(3.5 - 1e-9), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(3.5), 1.0);
+  // curve() degenerates to n copies of the step's top, not NaNs.
+  const auto pts = c.curve(4);
+  ASSERT_EQ(pts.size(), 4u);
+  for (const auto& [x, f] : pts) {
+    EXPECT_DOUBLE_EQ(x, 3.5);
+    EXPECT_DOUBLE_EQ(f, 1.0);
+  }
+}
+
+TEST(EmpiricalCdf, AllEqualSamples) {
+  EmpiricalCdf c;
+  for (int i = 0; i < 64; ++i) c.add(7.0);
+  for (double p : {0.0, 0.5, 1.0}) EXPECT_DOUBLE_EQ(c.quantile(p), 7.0);
+  EXPECT_DOUBLE_EQ(c.min(), c.max());
+  EXPECT_DOUBLE_EQ(c.at(6.999), 0.0);
+  EXPECT_DOUBLE_EQ(c.at(7.0), 1.0);
+  EXPECT_TRUE(c.sorted_hint()) << "equal appends must not force a re-sort";
+  const auto pts = c.curve(8);
+  ASSERT_EQ(pts.size(), 8u);
+  for (const auto& [x, f] : pts) {
+    EXPECT_DOUBLE_EQ(x, 7.0);
+    EXPECT_DOUBLE_EQ(f, 1.0);
+  }
+}
+
 TEST(EmpiricalCdf, RejectsBadQuantile) {
   EmpiricalCdf c;
   c.add(1.0);
@@ -233,6 +271,41 @@ TEST(Distance, KsDetectsHalfOverlap) {
   for (int i = 0; i < 100; ++i) a.add(i);          // 0..99
   for (int i = 50; i < 150; ++i) b.add(i);         // 50..149
   EXPECT_NEAR(ks_distance(a, b), 0.5, 0.02);
+}
+
+TEST(Distance, SelfDistanceIsExactlyZero) {
+  // Bitwise-exact zero, not just small: the sweep visits identical merged
+  // sample points, so no floating-point residue is acceptable. This is
+  // what makes "distance == 0" a usable equivalence check elsewhere.
+  Rng rng{55};
+  EmpiricalCdf a;
+  for (int i = 0; i < 1000; ++i) a.add(rng.pareto(1.0, 1.3));
+  EXPECT_EQ(ks_distance(a, a), 0.0);
+  EXPECT_EQ(wasserstein_distance(a, a), 0.0);
+}
+
+TEST(Distance, SingleSampleDistributions) {
+  EmpiricalCdf a, b, same;
+  a.add(1.0);
+  b.add(4.0);
+  same.add(1.0);
+  // Two unit steps at different points: maximally KS-separated, and the
+  // earth mover carries one unit of mass the full gap.
+  EXPECT_DOUBLE_EQ(ks_distance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(wasserstein_distance(a, b), 3.0);
+  EXPECT_EQ(ks_distance(a, same), 0.0);
+  EXPECT_EQ(wasserstein_distance(a, same), 0.0);
+}
+
+TEST(Distance, AllEqualVersusSpread) {
+  EmpiricalCdf point, spread;
+  for (int i = 0; i < 10; ++i) point.add(5.0);
+  for (int i = 0; i < 10; ++i) spread.add(static_cast<double>(i));  // 0..9
+  // At x just below 5: F_point = 0, F_spread = 0.5. At x = 5 both jump.
+  EXPECT_DOUBLE_EQ(ks_distance(point, spread), 0.5);
+  // Mass moves |i - 5| / 10 each: (5+4+3+2+1+0+1+2+3+4) / 10.
+  EXPECT_NEAR(wasserstein_distance(point, spread), 2.5, 1e-12);
+  EXPECT_EQ(ks_distance(point, point), 0.0);
 }
 
 TEST(Distance, ThrowsOnEmpty) {

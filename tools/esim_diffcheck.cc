@@ -1,0 +1,267 @@
+// esim_diffcheck: differential determinism checker.
+//
+//   esim_diffcheck fuzz [--n N] [--seed S] [--partitions 1,2,4]
+//                       [--out PREFIX] [--inject-tiebreak-bug]
+//     Generates N scenarios from seed S and checks each one: sequential vs
+//     PDES at every partition count (engine-invariant digest lanes), plus
+//     a rerun-determinism pass of the widest PDES config against itself
+//     (full digest, pop order included). On divergence: prints the report
+//     with the bisected first-divergence window, shrinks the scenario to a
+//     minimal repro, writes it to PREFIX<k>.scenario, and exits 1.
+//
+//   esim_diffcheck replay FILE [--partitions 1,2,4] [--inject-tiebreak-bug]
+//     Re-runs the checks on a saved (possibly shrunk) scenario file.
+//
+//   esim_diffcheck selftest
+//     Proves the harness has teeth: runs a crafted tie-rich scenario with
+//     the FES tie-break deliberately inverted on one side and demands the
+//     divergence is caught, localized, and shrunk. Exits 0 only when the
+//     injected bug is detected AND clean configurations still agree.
+//
+// Exit codes: 0 = all equivalent, 1 = divergence (or selftest failure),
+// 2 = usage / IO error.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/diff_runner.h"
+#include "check/fuzzer.h"
+#include "check/scenario.h"
+
+namespace {
+
+using esim::check::DiffReport;
+using esim::check::DiffRunner;
+using esim::check::EngineSpec;
+using esim::check::FlowSpec;
+using esim::check::Scenario;
+using esim::check::ScenarioFuzzer;
+
+struct Args {
+  std::string mode;
+  std::string replay_file;
+  int n = 25;
+  std::uint64_t seed = 1;
+  std::vector<std::uint32_t> partitions = {1, 2, 4};
+  std::string out_prefix = "diffcheck_repro_";
+  bool inject_tiebreak_bug = false;
+};
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: esim_diffcheck fuzz [--n N] [--seed S] [--partitions "
+         "1,2,4] [--out PREFIX] [--inject-tiebreak-bug]\n"
+         "       esim_diffcheck replay FILE [--partitions 1,2,4] "
+         "[--inject-tiebreak-bug]\n"
+         "       esim_diffcheck selftest\n";
+  std::exit(2);
+}
+
+std::vector<std::uint32_t> parse_partitions(const std::string& s) {
+  std::vector<std::uint32_t> out;
+  std::istringstream is{s};
+  std::string part;
+  while (std::getline(is, part, ',')) {
+    const unsigned long v = std::stoul(part);
+    if (v == 0) {
+      std::cerr << "esim_diffcheck: partition counts must be >= 1\n";
+      std::exit(2);
+    }
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  if (out.empty()) usage();
+  return out;
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  if (argc < 2) usage();
+  a.mode = argv[1];
+  int i = 2;
+  if (a.mode == "replay") {
+    if (argc < 3) usage();
+    a.replay_file = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--n") {
+      a.n = std::stoi(value());
+    } else if (arg == "--seed") {
+      a.seed = std::stoull(value());
+    } else if (arg == "--partitions") {
+      a.partitions = parse_partitions(value());
+    } else if (arg == "--out") {
+      a.out_prefix = value();
+    } else if (arg == "--inject-tiebreak-bug") {
+      a.inject_tiebreak_bug = true;
+    } else {
+      usage();
+    }
+  }
+  return a;
+}
+
+/// Runs check_all and prints each report; returns the first failing
+/// report, if any.
+bool run_checks(const DiffRunner& runner, const Scenario& sc,
+                const Args& args, DiffReport* failing) {
+  const auto reports =
+      runner.check_all(sc, args.partitions, args.inject_tiebreak_bug);
+  bool ok = true;
+  for (const DiffReport& r : reports) {
+    if (r.equivalent) {
+      std::cout << "  " << r.base.label() << " vs " << r.other.label()
+                << ": EQUIVALENT\n";
+    } else {
+      std::cout << r.to_string() << "\n";
+      if (ok && failing != nullptr) *failing = r;
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+int cmd_fuzz(const Args& args) {
+  DiffRunner runner;
+  ScenarioFuzzer fuzzer{args.seed};
+  int failures = 0;
+  for (int k = 0; k < args.n; ++k) {
+    Scenario sc = fuzzer.next();
+    std::cout << "[" << (k + 1) << "/" << args.n << "] " << sc.summary()
+              << "\n";
+    DiffReport failing;
+    if (run_checks(runner, sc, args, &failing)) continue;
+
+    ++failures;
+    std::cout << "shrinking repro...\n";
+    const Scenario shrunk =
+        fuzzer.shrink(sc, [&](const Scenario& cand) {
+          return !runner.diff(cand, failing.base, failing.other).equivalent;
+        });
+    const std::string path =
+        args.out_prefix + std::to_string(k) + ".scenario";
+    esim::check::save_scenario(shrunk, path);
+    std::cout << "shrunk to " << shrunk.summary() << "\nrepro written: "
+              << path << "  (replay with: esim_diffcheck replay " << path
+              << ")\n"
+              << runner.diff(shrunk, failing.base, failing.other).to_string()
+              << "\n";
+  }
+  std::cout << (args.n - failures) << "/" << args.n
+            << " scenarios equivalent across engines\n";
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_replay(const Args& args) {
+  Scenario sc;
+  try {
+    sc = esim::check::load_scenario(args.replay_file);
+  } catch (const std::exception& e) {
+    std::cerr << "esim_diffcheck: " << e.what() << "\n";
+    return 2;
+  }
+  std::cout << "replaying " << args.replay_file << ": " << sc.summary()
+            << "\n";
+  DiffRunner runner;
+  return run_checks(runner, sc, args, nullptr) ? 0 : 1;
+}
+
+/// A scenario engineered to put two packets on one switch at the same
+/// instant: two equal flows from the two hosts of ToR 0, started at the
+/// same nanosecond, both targeting host 0 of ToR 1. Their SYNs traverse
+/// identical host->ToR links, collide at the ToR, and the FES same-time
+/// tie-break alone decides which serializes first.
+Scenario tie_rich_scenario() {
+  Scenario sc;
+  sc.seed = 42;
+  sc.tors = 2;
+  sc.spines = 1;
+  sc.hosts_per_tor = 2;
+  sc.duration_ns = 4'000'000;
+  sc.flows = {
+      FlowSpec{0, 2, 40'000, 10'000, 1},
+      FlowSpec{1, 2, 40'000, 10'000, 2},
+  };
+  sc.validate();
+  return sc;
+}
+
+int cmd_selftest() {
+  DiffRunner runner;
+  const Scenario sc = tie_rich_scenario();
+  std::cout << "selftest scenario: " << sc.summary() << "\n";
+
+  const EngineSpec normal{};
+  EngineSpec inverted;
+  inverted.invert_tiebreak = true;
+
+  // 1. Sanity: identical clean configurations must agree on the FULL
+  // digest — otherwise divergence below would mean nothing.
+  const DiffReport clean = runner.diff(sc, normal, normal);
+  std::cout << "clean rerun: " << (clean.equivalent ? "EQUIVALENT" : "DIVERGED")
+            << "\n";
+  if (!clean.equivalent) {
+    std::cerr << "selftest FAILED: clean reruns disagree\n"
+              << clean.to_string() << "\n";
+    return 1;
+  }
+
+  // 2. The injected ordering bug must be caught...
+  const DiffReport bug = runner.diff(sc, normal, inverted);
+  if (bug.equivalent) {
+    std::cerr << "selftest FAILED: inverted FES tie-break was NOT detected "
+                 "— the digest is blind to event ordering\n";
+    return 1;
+  }
+  std::cout << "injected tie-break bug detected:\n" << bug.to_string() << "\n";
+
+  // ...and localized to a first divergent packet record.
+  if (!bug.first.found) {
+    std::cerr << "selftest FAILED: divergence detected but not localized\n";
+    return 1;
+  }
+
+  // 3. Shrinking must preserve the failure and end at a valid scenario.
+  ScenarioFuzzer fuzzer{sc.seed};
+  const Scenario shrunk = fuzzer.shrink(sc, [&](const Scenario& cand) {
+    return !runner.diff(cand, normal, inverted).equivalent;
+  });
+  shrunk.validate();
+  if (runner.diff(shrunk, normal, inverted).equivalent) {
+    std::cerr << "selftest FAILED: shrunk scenario no longer reproduces\n";
+    return 1;
+  }
+  std::cout << "shrunk repro still fails: " << shrunk.summary() << "\n";
+
+  // 4. Round-trip: the repro file format must reproduce the scenario.
+  if (Scenario::parse(shrunk.serialize()) != shrunk) {
+    std::cerr << "selftest FAILED: scenario serialization does not "
+                 "round-trip\n";
+    return 1;
+  }
+
+  std::cout << "selftest PASSED\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  try {
+    if (args.mode == "fuzz") return cmd_fuzz(args);
+    if (args.mode == "replay") return cmd_replay(args);
+    if (args.mode == "selftest") return cmd_selftest();
+  } catch (const std::exception& e) {
+    std::cerr << "esim_diffcheck: " << e.what() << "\n";
+    return 2;
+  }
+  usage();
+}
