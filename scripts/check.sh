@@ -42,6 +42,14 @@ for preset in default asan-ubsan; do
   done
 done
 
+# The PDES scale-out path (graph-cut placement, per-pair lookahead
+# windows, SPSC rings) must stay digest-identical to the sequential
+# engine at the partition counts the scaling bench targets. Always run
+# this — it is the determinism gate for the parallel engine, not an
+# opt-in extra.
+echo "=== default — esim_diffcheck scale-out fuzz (8/16 partitions) ==="
+(cd build && ./tools/esim_diffcheck fuzz --n 15 --seed 23 --partitions 8,16)
+
 # The inference bench doubles as a sanitizer workout for the packed
 # SIMD kernels and the workspace plan: quick-mode it streams every
 # trunk/hidden config through both predict paths (bit-identity checked,
@@ -49,13 +57,19 @@ done
 echo "=== asan-ubsan — bench_inference smoke ==="
 (cd build-asan && ESIM_BENCH_QUICK=1 ./bench/bench_inference)
 
+# Quick sweep of the PDES scaling bench under ASan/UBSan: drives the
+# partitioner, per-pair windows, and SPSC rings at 1..8 partitions with
+# real TCP traffic.
+echo "=== asan-ubsan — bench_pdes_scaling smoke ==="
+(cd build-asan && ESIM_BENCH_QUICK=1 ./bench/bench_pdes_scaling)
+
 echo "=== preset: tsan — configure ==="
 cmake --preset tsan
 echo "=== preset: tsan — build ==="
 cmake --build --preset tsan "${jobs}"
 echo "=== preset: tsan — test (threaded suites) ==="
 ctest --preset tsan "${jobs}" -R \
-  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace'
+  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner'
 
 if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
   echo "=== preset: coverage — configure ==="

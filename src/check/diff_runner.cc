@@ -88,6 +88,7 @@ RunOutcome DiffRunner::run(const Scenario& scenario, const EngineSpec& engine,
     sim::ParallelEngine::Config cfg;
     cfg.num_partitions = engine.partitions;
     cfg.lookahead = options_.lookahead;
+    cfg.window_mode = options_.window_mode;
     cfg.seed = scenario.seed;
     sim::ParallelEngine eng{cfg};
     if (engine.invert_tiebreak) {
@@ -95,8 +96,8 @@ RunOutcome DiffRunner::run(const Scenario& scenario, const EngineSpec& engine,
         eng.partition(p).sim().debug_invert_fes_tiebreak(true);
       }
     }
-    auto net = core::build_leaf_spine_partitioned(eng,
-                                                  scenario.network_config());
+    auto net = core::build_leaf_spine_partitioned(
+        eng, scenario.network_config(), options_.placement);
     digest.attach(eng);
     for (std::uint32_t p = 0; p < eng.num_partitions(); ++p) {
       std::vector<bool> owned(scenario.total_hosts());

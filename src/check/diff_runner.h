@@ -22,6 +22,8 @@
 
 #include "check/digest.h"
 #include "check/scenario.h"
+#include "core/partitioner.h"
+#include "sim/parallel.h"
 #include "sim/time.h"
 
 namespace esim::check {
@@ -85,6 +87,12 @@ class DiffRunner {
   struct Options {
     /// PDES conservative lookahead; must be <= the 1us link propagation.
     sim::SimTime lookahead = sim::SimTime::from_us(1);
+    /// PDES window mode. Defaults to per-pair so the gate exercises the
+    /// scale-out path (per-pair lookahead + SPSC drains) by default.
+    sim::ParallelEngine::WindowMode window_mode =
+        sim::ParallelEngine::WindowMode::per_pair;
+    /// Switch placement for partitioned builds.
+    core::PlacementPolicy placement = core::PlacementPolicy::graph_cut;
     /// Bisect + capture on mismatch (diff only).
     bool localize = true;
     /// Bisection stops when the window is this tight.

@@ -108,17 +108,16 @@ BuiltNetwork build_full_network(sim::Simulator& sim,
   // Agg <-> Core (every Agg to every Core, cores ascending; core ports
   // are added cluster-major then agg-major, giving the canonical
   // ascending-agg order within each cluster).
+  const Link::Config& core_cfg = config.core_link_config();
   for (std::uint32_t c = 0; c < spec.clusters; ++c) {
     for (std::uint32_t a = 0; a < spec.aggs_per_cluster; ++a) {
       Switch* agg_sw = out.switches[spec.agg_id(c, a)];
       for (std::uint32_t k = 0; k < spec.cores; ++k) {
         Switch* core_sw = out.switches[spec.core_id(k)];
         auto* up = sim.add_component<Link>(
-            link_name(agg_sw->name(), core_sw->name()), config.fabric_link,
-            core_sw);
+            link_name(agg_sw->name(), core_sw->name()), core_cfg, core_sw);
         auto* down = sim.add_component<Link>(
-            link_name(core_sw->name(), agg_sw->name()), config.fabric_link,
-            agg_sw);
+            link_name(core_sw->name(), agg_sw->name()), core_cfg, agg_sw);
         port_of[agg_sw->id()][kSwitchKey | core_sw->id()] =
             agg_sw->add_port(up);
         port_of[core_sw->id()][kSwitchKey | agg_sw->id()] =

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "net/clos.h"
@@ -34,6 +35,18 @@ struct NetworkConfig {
       .propagation = sim::SimTime::from_us(1),
       .queue_capacity_bytes = 150'000,
   };
+
+  /// Agg <-> Core links only; unset means "same as fabric_link". Setting a
+  /// longer propagation here models the longer inter-cluster runs of a
+  /// real fabric — and, under PDES with topology-aware placement, widens
+  /// the per-pair lookahead of exactly the links a cut-minimizing
+  /// partitioner leaves crossing.
+  std::optional<net::Link::Config> core_link;
+
+  /// The link config used for agg <-> core wiring.
+  const net::Link::Config& core_link_config() const {
+    return core_link.has_value() ? *core_link : fabric_link;
+  }
 
   /// Forwarding pipeline latency per switch.
   sim::SimTime switch_processing;

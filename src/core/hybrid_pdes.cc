@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 #include <unordered_map>
+#include <vector>
+
+#include "core/partitioner.h"
 
 namespace esim::core {
 
@@ -50,13 +53,22 @@ PartitionedHybridNetwork build_hybrid_network_partitioned(
   out.partition_of_host.assign(spec.total_hosts(), 0);
   out.partition_of_cluster.assign(spec.clusters, 0);
 
-  // Placement: approximated clusters round-robin over partitions 1..P-1
-  // (or all on 0 when the engine has a single partition).
-  {
-    std::uint32_t next = 0;
+  // Placement: approximated clusters spread weight-balanced (by host
+  // count) over partitions 1..P-1, leaving partition 0 to the full
+  // cluster + cores (or everything on 0 when the engine has a single
+  // partition). Clusters have no links to each other, so balance — not
+  // cut — is the only objective here.
+  if (P > 1) {
+    std::vector<std::uint32_t> approx_clusters;
+    std::vector<std::uint64_t> weights;
     for (std::uint32_t c = 0; c < spec.clusters; ++c) {
       if (c == full) continue;
-      out.partition_of_cluster[c] = P > 1 ? 1 + (next++ % (P - 1)) : 0;
+      approx_clusters.push_back(c);
+      weights.push_back(spec.hosts_per_cluster());
+    }
+    const auto bins = assign_balanced(weights, P - 1);
+    for (std::size_t i = 0; i < approx_clusters.size(); ++i) {
+      out.partition_of_cluster[approx_clusters[i]] = 1 + bins[i];
     }
   }
 
@@ -189,6 +201,33 @@ PartitionedHybridNetwork build_hybrid_network_partitioned(
       port_of[core_sw->id()][kClusterKey | c] = core_sw->add_port(down);
       cluster->attach_core(k, core_sw);
       if (pc != 0) cluster->set_core_remote(k, cross(pc, 0));
+    }
+  }
+
+  // --- per-pair lookahead ---
+  // The only channels are partition 0 <-> each cluster-hosting partition:
+  // core -> cluster deliveries ride a fabric link (>= its propagation),
+  // and cluster -> core injections carry at least the model's minimum
+  // latency. Everything else (notably cluster <-> cluster) never
+  // exchanges a message, so those pairs get infinite lookahead and never
+  // constrain the per-pair window.
+  if (P > 1) {
+    std::vector<bool> hosts_clusters(P, false);
+    for (std::uint32_t c = 0; c < spec.clusters; ++c) {
+      if (c != full) hosts_clusters[out.partition_of_cluster[c]] = true;
+    }
+    for (std::uint32_t a = 0; a < P; ++a) {
+      for (std::uint32_t b = 0; b < P; ++b) {
+        if (a == b) continue;
+        sim::SimTime lah = sim::ParallelEngine::infinite_lookahead();
+        if (a == 0 && hosts_clusters[b]) {
+          lah = config.net.fabric_link.propagation;
+        } else if (b == 0 && hosts_clusters[a]) {
+          lah = std::max(sim::SimTime::from_seconds_f(config.approx.min_latency_s),
+                         engine.lookahead());
+        }
+        engine.set_pair_lookahead(a, b, lah);
+      }
     }
   }
 

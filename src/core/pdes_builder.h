@@ -1,16 +1,29 @@
-// Partitioned leaf-spine assembly for the PDES experiment (Figure 1).
+// Partitioned Clos assembly for the PDES experiments.
 //
-// Racks (a ToR plus its hosts) and spine switches are distributed
-// round-robin over the engine's partitions; every ToR connects to every
-// spine, so most fabric links cross partitions — the dense
-// interconnection that makes conservative PDES struggle on data center
-// topologies (paper §2.2).
+// build_clos_partitioned places every switch (and the hosts riding on
+// their ToRs) into the partition chosen by a core::PartitionPlan, wires
+// the same canonical topology as core/full_builder (identical FIB
+// candidate ordering, so deterministic ECMP picks the same paths), and
+// registers a remote scheduler on every link whose endpoints live in
+// different partitions.
+//
+// It also programs the engine's per-pair lookahead matrix from the wired
+// topology: L[a][b] becomes the minimum propagation delay over all
+// a -> b cross links (a message handed to such a link at time t cannot
+// arrive before t + propagation), and pairs with no connecting link get
+// ParallelEngine::infinite_lookahead() so they never constrain the
+// window in per-pair mode — and any send over them is rejected.
+//
+// build_leaf_spine_partitioned remains as the Figure-1 entry point: the
+// degenerate single-cluster case, now routed through the same generic
+// builder.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "core/full_builder.h"
+#include "core/partitioner.h"
 #include "sim/parallel.h"
 
 namespace esim::core {
@@ -21,18 +34,27 @@ struct PdesNetwork {
   net::ClosSpec spec;
   std::vector<tcp::Host*> hosts;
   std::vector<net::Switch*> switches;
-  /// Partition owning each switch (dense by switch id).
+  /// The placement this build used (includes cut accounting).
+  PartitionPlan plan;
+  /// Partition owning each switch (dense by switch id; == plan's).
   std::vector<std::uint32_t> partition_of_switch;
   /// Partition owning each host.
   std::vector<std::uint32_t> partition_of_host;
-  /// Fabric links that cross partitions (for accounting).
+  /// Fabric links that cross partitions (directed; == plan.cut_links).
   std::uint64_t cross_partition_links = 0;
 };
 
+/// Builds the full Clos of `config.spec` across the engine's partitions,
+/// placing switches according to `policy`. The engine's (global)
+/// lookahead must be <= every link propagation delay (checked).
+PdesNetwork build_clos_partitioned(
+    sim::ParallelEngine& engine, const NetworkConfig& config,
+    PlacementPolicy policy = PlacementPolicy::graph_cut);
+
 /// Builds a leaf-spine (spec.clusters == 1, spec.cores == 0) across the
-/// engine's partitions. The engine's lookahead must be <= the fabric
-/// link propagation delay (checked).
-PdesNetwork build_leaf_spine_partitioned(sim::ParallelEngine& engine,
-                                         const NetworkConfig& config);
+/// engine's partitions. Thin wrapper over build_clos_partitioned.
+PdesNetwork build_leaf_spine_partitioned(
+    sim::ParallelEngine& engine, const NetworkConfig& config,
+    PlacementPolicy policy = PlacementPolicy::graph_cut);
 
 }  // namespace esim::core

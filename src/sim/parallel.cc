@@ -6,42 +6,133 @@
 #include <exception>
 #include <limits>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace esim::sim {
+namespace {
+
+constexpr std::int64_t kNeverNs = std::numeric_limits<std::int64_t>::max();
+
+/// a + b for non-negative int64 without overflow (saturates at max).
+std::int64_t saturating_add(std::int64_t a, std::int64_t b) {
+  return a > std::numeric_limits<std::int64_t>::max() - b
+             ? std::numeric_limits<std::int64_t>::max()
+             : a + b;
+}
+
+}  // namespace
+
+Partition::Partition(std::uint32_t index, std::uint64_t seed,
+                     std::uint32_t num_sources, std::size_t ring_capacity)
+    : index_{index},
+      sim_{seed},
+      ring_capacity_{ring_capacity},
+      rings_(num_sources),
+      drain_runs_(num_sources) {
+  for (auto& r : rings_) r.store(nullptr, std::memory_order_relaxed);
+}
+
+SpscQueue<CrossMessage>* Partition::ring_for(std::uint32_t source) {
+  SpscQueue<CrossMessage>* ring =
+      rings_[source].load(std::memory_order_acquire);
+  if (ring != nullptr) return ring;
+  // First message on this (source, dest) pair: create the ring. Only
+  // `source`'s worker thread ever posts on this slot, but creation still
+  // serializes on a mutex so ring_storage_ stays consistent.
+  std::lock_guard lock{rings_mu_};
+  ring = rings_[source].load(std::memory_order_relaxed);
+  if (ring == nullptr) {
+    ring_storage_.push_back(
+        std::make_unique<SpscQueue<CrossMessage>>(ring_capacity_));
+    ring = ring_storage_.back().get();
+    rings_[source].store(ring, std::memory_order_release);
+  }
+  return ring;
+}
 
 void Partition::post(CrossMessage m) {
-  std::lock_guard lock{inbox_mu_};
-  inbox_.push_back(std::move(m));
-  if (inbox_depth_ != nullptr) {
-    inbox_depth_->set(static_cast<std::int64_t>(inbox_.size()));
-  }
+  SpscQueue<CrossMessage>* ring = ring_for(m.source_partition);
+  if (ring->try_push(std::move(m))) return;
+  // Ring full: spill to the overflow list. Deterministic order is
+  // restored at drain time (messages re-join their source's run), so
+  // backpressure degrades throughput, never correctness.
+  overflow_posts_.fetch_add(1, std::memory_order_relaxed);
+  if (overflow_counter_ != nullptr) overflow_counter_->inc();
+  std::lock_guard lock{overflow_mu_};
+  overflow_.push_back(std::move(m));
 }
 
 std::size_t Partition::drain_inbox() {
-  std::vector<CrossMessage> batch;
-  {
-    std::lock_guard lock{inbox_mu_};
-    batch.swap(inbox_);
-    if (inbox_depth_ != nullptr) inbox_depth_->set(0);
+  const std::uint32_t S = static_cast<std::uint32_t>(rings_.size());
+
+  // Collect each source's backlog. Rings are quiescent here (drains only
+  // happen at barriers), so try_pop empties them exactly.
+  for (std::uint32_t s = 0; s < S; ++s) {
+    SpscQueue<CrossMessage>* ring = rings_[s].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    auto& run = drain_runs_[s];
+    CrossMessage m;
+    while (ring->try_pop(m)) run.push_back(std::move(m));
   }
-  if (drained_ != nullptr) drained_->inc(batch.size());
-  // Deterministic insertion order regardless of which sender posted first.
-  std::sort(batch.begin(), batch.end(),
-            [](const CrossMessage& a, const CrossMessage& b) {
-              if (a.deliver_at != b.deliver_at)
-                return a.deliver_at < b.deliver_at;
-              if (a.source_partition != b.source_partition)
-                return a.source_partition < b.source_partition;
-              return a.source_seq < b.source_seq;
-            });
-  for (auto& m : batch) {
+  if (overflow_posts_.load(std::memory_order_relaxed) != 0) {
+    std::lock_guard lock{overflow_mu_};
+    for (auto& m : overflow_) {
+      drain_runs_[m.source_partition].push_back(std::move(m));
+    }
+    overflow_.clear();
+  }
+
+  // Each source posts in its own execution order (source_seq ascending),
+  // but deliver times are not monotone per source (links have different
+  // delays), so sort each small run by (deliver_at, seq). The runs are
+  // mostly sorted already, which keeps this cheap.
+  std::size_t total = 0;
+  std::vector<std::uint32_t> sources;
+  sources.reserve(S);
+  for (std::uint32_t s = 0; s < S; ++s) {
+    auto& run = drain_runs_[s];
+    if (run.empty()) continue;
+    std::sort(run.begin(), run.end(),
+              [](const CrossMessage& a, const CrossMessage& b) {
+                if (a.deliver_at != b.deliver_at)
+                  return a.deliver_at < b.deliver_at;
+                return a.source_seq < b.source_seq;
+              });
+    total += run.size();
+    if (static_cast<std::int64_t>(run.size()) > ring_high_water_) {
+      ring_high_water_ = static_cast<std::int64_t>(run.size());
+      if (ring_high_water_gauge_ != nullptr) {
+        ring_high_water_gauge_->set(ring_high_water_);
+      }
+    }
+    sources.push_back(s);
+  }
+  if (total == 0) return 0;
+  if (drained_ != nullptr) drained_->inc(total);
+
+  // Merge the ordered per-source streams into the FES by
+  // (deliver_at, source, seq) — the same total order the old full-inbox
+  // sort produced, so cross-engine determinism is unchanged.
+  std::vector<std::size_t> pos(sources.size(), 0);
+  for (std::size_t n = 0; n < total; ++n) {
+    std::size_t best = sources.size();
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+      if (pos[i] >= drain_runs_[sources[i]].size()) continue;
+      if (best == sources.size() ||
+          drain_runs_[sources[i]][pos[i]].deliver_at <
+              drain_runs_[sources[best]][pos[best]].deliver_at) {
+        best = i;  // tie on deliver_at keeps the lower source (scan order)
+      }
+    }
+    CrossMessage& m = drain_runs_[sources[best]][pos[best]++];
     sim_.schedule_at_keyed(m.deliver_at, m.key, std::move(m.fn));
   }
-  return batch.size();
+  for (std::uint32_t s : sources) drain_runs_[s].clear();
+  return total;
 }
 
 ParallelEngine::ParallelEngine(Config config)
@@ -52,64 +143,165 @@ ParallelEngine::ParallelEngine(Config config)
   if (config_.lookahead <= SimTime{}) {
     throw std::invalid_argument("ParallelEngine: lookahead must be positive");
   }
-  partitions_.reserve(config_.num_partitions);
-  for (std::uint32_t i = 0; i < config_.num_partitions; ++i) {
-    partitions_.push_back(std::make_unique<Partition>(i, config_.seed + i));
+  const std::uint32_t P = config_.num_partitions;
+  partitions_.reserve(P);
+  for (std::uint32_t i = 0; i < P; ++i) {
+    partitions_.push_back(std::make_unique<Partition>(
+        i, config_.seed + i, P, config_.ring_capacity));
     send_seq_[i].store(0, std::memory_order_relaxed);
   }
+  pair_lookahead_ns_.assign(static_cast<std::size_t>(P) * P,
+                            config_.lookahead.ns());
 }
 
 ParallelEngine::~ParallelEngine() = default;
 
+SimTime ParallelEngine::pair_lookahead(std::uint32_t from,
+                                       std::uint32_t to) const {
+  return SimTime::from_ns(
+      pair_lookahead_ns_.at(static_cast<std::size_t>(from) *
+                                num_partitions() + to));
+}
+
+void ParallelEngine::set_pair_lookahead(std::uint32_t from, std::uint32_t to,
+                                        SimTime min_delay) {
+  if (from >= num_partitions() || to >= num_partitions()) {
+    throw std::invalid_argument("set_pair_lookahead: partition out of range");
+  }
+  if (min_delay < config_.lookahead) {
+    throw std::invalid_argument(
+        "set_pair_lookahead: pair lookahead below the engine's global "
+        "lookahead (" + min_delay.to_string() + " < " +
+        config_.lookahead.to_string() + ")");
+  }
+  pair_lookahead_ns_[static_cast<std::size_t>(from) * num_partitions() + to] =
+      min_delay.ns();
+  pair_reach_dirty_ = true;
+}
+
+void ParallelEngine::recompute_pair_reach() {
+  const std::size_t P = num_partitions();
+  // Seed with the direct channels only: the diagonal starts at "never"
+  // (there is no zero-cost self channel), so after relaxation it holds the
+  // shortest round-trip cycle through each partition — the earliest a
+  // partition's own pending events could echo back into its inbox.
+  pair_reach_ns_.assign(P * P, kNeverNs);
+  for (std::size_t a = 0; a < P; ++a) {
+    for (std::size_t b = 0; b < P; ++b) {
+      if (a != b) pair_reach_ns_[a * P + b] = pair_lookahead_ns_[a * P + b];
+    }
+  }
+  for (std::size_t k = 0; k < P; ++k) {
+    for (std::size_t a = 0; a < P; ++a) {
+      const std::int64_t ak = pair_reach_ns_[a * P + k];
+      if (ak == kNeverNs) continue;
+      for (std::size_t b = 0; b < P; ++b) {
+        const std::int64_t kb = pair_reach_ns_[k * P + b];
+        if (kb == kNeverNs) continue;
+        const std::int64_t via = saturating_add(ak, kb);
+        if (via < pair_reach_ns_[a * P + b]) pair_reach_ns_[a * P + b] = via;
+      }
+    }
+  }
+  pair_reach_dirty_ = false;
+}
+
 void ParallelEngine::set_telemetry(telemetry::Registry* registry) {
   telemetry_ = registry;
   sync_wait_ns_.clear();
+  window_advance_ = nullptr;
+  pair_messages_.clear();
   if (registry == nullptr) {
-    for (auto& p : partitions_) p->set_telemetry(nullptr, nullptr);
+    for (auto& p : partitions_) p->set_telemetry(nullptr, nullptr, nullptr);
     return;
   }
   auto* rounds = registry->counter("pdes.sync_rounds");
   auto* crossings = registry->counter("pdes.cross_messages");
   auto* executed = registry->counter("pdes.events_executed");
   auto* overhead = registry->counter("pdes.modeled_overhead_us");
-  registry->add_flusher([this, rounds, crossings, executed, overhead] {
-    rounds->set(stats_.sync_rounds);
-    crossings->set(stats_.cross_messages);
-    std::uint64_t events = 0;
-    for (auto& p : partitions_) events += p->sim().events_executed();
-    executed->set(events);
-    overhead->set(
-        static_cast<std::uint64_t>(stats_.modeled_overhead_seconds * 1e6));
-  });
+  auto* overflow_total = registry->counter("pdes.overflow_posts");
+  registry->add_flusher(
+      [this, rounds, crossings, executed, overhead, overflow_total] {
+        rounds->set(stats_.sync_rounds);
+        crossings->set(stats_.cross_messages);
+        std::uint64_t events = 0;
+        std::uint64_t overflows = 0;
+        for (auto& p : partitions_) {
+          events += p->sim().events_executed();
+          overflows += p->overflow_posts();
+        }
+        executed->set(events);
+        overflow_total->set(overflows);
+        overhead->set(
+            static_cast<std::uint64_t>(stats_.modeled_overhead_seconds * 1e6));
+      });
+  window_advance_ = registry->histogram("pdes.window_advance_ns");
+  const std::size_t pairs =
+      static_cast<std::size_t>(num_partitions()) * num_partitions();
+  pair_messages_ = std::vector<std::atomic<telemetry::Counter*>>(pairs);
+  for (auto& c : pair_messages_) c.store(nullptr, std::memory_order_relaxed);
   sync_wait_ns_.reserve(partitions_.size());
   for (std::uint32_t i = 0; i < num_partitions(); ++i) {
     const std::string prefix = "pdes.p" + std::to_string(i);
     partitions_[i]->sim().set_telemetry(registry, prefix);
-    partitions_[i]->set_telemetry(registry->gauge(prefix + ".inbox_depth"),
-                                  registry->counter(prefix + ".inbox_drained"));
+    partitions_[i]->set_telemetry(
+        registry->gauge(prefix + ".ring_high_water"),
+        registry->counter(prefix + ".inbox_drained"),
+        registry->counter(prefix + ".overflow_posts"));
     sync_wait_ns_.push_back(registry->counter(prefix + ".sync_wait_ns"));
   }
+}
+
+telemetry::Counter* ParallelEngine::pair_counter(std::uint32_t from,
+                                                 std::uint32_t to) {
+  const std::size_t idx =
+      static_cast<std::size_t>(from) * num_partitions() + to;
+  telemetry::Counter* c = pair_messages_[idx].load(std::memory_order_acquire);
+  if (c == nullptr) {
+    // Interning makes concurrent first-use idempotent: both threads get
+    // the same instrument pointer back.
+    c = telemetry_->counter("pdes.pair.p" + std::to_string(from) + "_p" +
+                            std::to_string(to) + ".messages");
+    pair_messages_[idx].store(c, std::memory_order_release);
+  }
+  return c;
 }
 
 void ParallelEngine::send_cross(std::uint32_t from, std::uint32_t to,
                                 SimTime deliver_at, std::uint64_t key,
                                 EventFn fn) {
   Partition& src = *partitions_.at(from);
-  if (deliver_at < src.sim().now() + config_.lookahead) {
+  const std::int64_t pair_ns =
+      pair_lookahead_ns_.at(static_cast<std::size_t>(from) * num_partitions() +
+                            to);
+  if (pair_ns == kNeverNs ||
+      deliver_at.ns() < saturating_add(src.sim().now().ns(), pair_ns)) {
     throw std::logic_error(
         "send_cross: delivery violates lookahead (deliver_at=" +
         deliver_at.to_string() + ", now=" + src.sim().now().to_string() +
-        ", lookahead=" + config_.lookahead.to_string() + ")");
+        ", pair lookahead=" +
+        (pair_ns == kNeverNs ? std::string("infinite (no channel)")
+                             : SimTime::from_ns(pair_ns).to_string()) +
+        ")");
   }
   const std::uint64_t seq =
       send_seq_[from].fetch_add(1, std::memory_order_relaxed);
   partitions_.at(to)->post(
       CrossMessage{deliver_at, key, from, seq, std::move(fn)});
   round_messages_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry_ != nullptr && !pair_messages_.empty()) {
+    pair_counter(from, to)->inc();
+  }
 }
 
 void ParallelEngine::spin_overhead(double microseconds) {
   if (microseconds <= 0.0) return;
+  if (config_.deterministic_overhead) {
+    // Virtual accounting only: the modeled cost is reported, not paid in
+    // wall time, so host scheduling jitter cannot leak into the figures.
+    stats_.modeled_overhead_seconds += microseconds / 1e6;
+    return;
+  }
   const auto start = std::chrono::steady_clock::now();
   const auto budget = std::chrono::duration<double, std::micro>(microseconds);
   while (std::chrono::steady_clock::now() - start < budget) {
@@ -120,21 +312,26 @@ void ParallelEngine::spin_overhead(double microseconds) {
 
 void ParallelEngine::run_until(SimTime end) {
   const std::uint32_t P = num_partitions();
-  constexpr std::int64_t kNever = std::numeric_limits<std::int64_t>::max();
+  const bool per_pair = config_.window_mode == WindowMode::per_pair;
+  if (per_pair && pair_reach_dirty_) recompute_pair_reach();
 
-  std::atomic<std::int64_t> min_next{kNever};
-  SimTime window_end;
+  std::atomic<std::int64_t> min_next{kNeverNs};
+  // Published by each partition before the window barrier, read by every
+  // partition after it (the barrier orders the accesses).
+  std::vector<std::int64_t> next_ns(P, kNeverNs);
+  SimTime global_window_end;
   bool done = false;
 
   auto on_window_computed = [&]() noexcept {
     // Runs on exactly one thread while the others wait in the barrier:
-    // decides the next safe window and models the MPI synchronization cost.
+    // decides run termination (and, in global mode, the shared window) and
+    // models the MPI synchronization cost.
     const std::int64_t next = min_next.load(std::memory_order_relaxed);
-    if (next == kNever || SimTime::from_ns(next) >= end) {
+    if (next == kNeverNs || SimTime::from_ns(next) >= end) {
       done = true;
-    } else {
-      window_end = SimTime::from_ns(next) + config_.lookahead;
-      if (window_end > end) window_end = end;
+    } else if (!per_pair) {
+      global_window_end = SimTime::from_ns(next) + config_.lookahead;
+      if (global_window_end > end) global_window_end = end;
     }
     const std::uint64_t msgs =
         round_messages_.exchange(0, std::memory_order_relaxed);
@@ -150,7 +347,7 @@ void ParallelEngine::run_until(SimTime end) {
                     config_.per_message_overhead_us *
                         static_cast<double>(msgs));
     }
-    min_next.store(kNever, std::memory_order_relaxed);
+    min_next.store(kNeverNs, std::memory_order_relaxed);
   };
 
   std::barrier window_barrier(static_cast<std::ptrdiff_t>(P),
@@ -159,8 +356,6 @@ void ParallelEngine::run_until(SimTime end) {
 
   std::vector<std::exception_ptr> errors(P);
 
-  // Sync-wait accounting costs two steady_clock reads per round per
-  // partition; skip them entirely unless telemetry is installed.
   telemetry::Counter* const* wait_counters =
       sync_wait_ns_.size() == P ? sync_wait_ns_.data() : nullptr;
 
@@ -171,7 +366,7 @@ void ParallelEngine::run_until(SimTime end) {
     }
     bool failed = false;
     for (;;) {
-      std::int64_t local_next = kNever;
+      std::int64_t local_next = kNeverNs;
       if (!failed) {
         try {
           part.drain_inbox();
@@ -183,28 +378,53 @@ void ParallelEngine::run_until(SimTime end) {
           failed = true;
         }
       }
-      // Fold into the global minimum. A failed partition reports "never" so
-      // the run winds down without deadlocking the barriers.
+      next_ns[idx] = local_next;
+      // Fold into the global minimum (drives termination and the global-
+      // mode window). A failed partition reports "never" so the run winds
+      // down without deadlocking the barriers.
       std::int64_t cur = min_next.load(std::memory_order_relaxed);
       while (local_next < cur &&
              !min_next.compare_exchange_weak(cur, local_next,
                                              std::memory_order_relaxed)) {
       }
-      if (wait_counters != nullptr) {
+      {
         const auto wait_start = std::chrono::steady_clock::now();
         window_barrier.arrive_and_wait();
-        wait_counters[idx]->inc(static_cast<std::uint64_t>(
+        const auto waited = static_cast<std::uint64_t>(
             std::chrono::duration_cast<std::chrono::nanoseconds>(
                 std::chrono::steady_clock::now() - wait_start)
-                .count()));
-      } else {
-        window_barrier.arrive_and_wait();
+                .count());
+        sync_wait_ns_total_.fetch_add(waited, std::memory_order_relaxed);
+        if (wait_counters != nullptr) wait_counters[idx]->inc(waited);
       }
       if (done) break;
       if (!failed) {
         try {
+          SimTime window_end = end;
+          if (per_pair) {
+            // This partition's private horizon: nothing can arrive before
+            // next_ns[j] + D[j][idx] for any j, where D is the closed
+            // lookahead matrix — chains through idle partitions and
+            // round-trips of idx's own events included (DESIGN.md §10).
+            // Unreachable pairs and idle partitions do not constrain it.
+            for (std::uint32_t j = 0; j < P; ++j) {
+              if (next_ns[j] == kNeverNs) continue;
+              const std::int64_t lah =
+                  pair_reach_ns_[static_cast<std::size_t>(j) * P + idx];
+              if (lah == kNeverNs) continue;
+              const std::int64_t bound = saturating_add(next_ns[j], lah);
+              if (bound < window_end.ns()) window_end = SimTime::from_ns(bound);
+            }
+          } else {
+            window_end = global_window_end;
+          }
           telemetry::Span window_span{"pdes.window"};
+          const std::int64_t before = part.sim().now().ns();
           part.sim().run_until(window_end);
+          if (window_advance_ != nullptr && window_end.ns() > before) {
+            window_advance_->record(
+                static_cast<std::uint64_t>(window_end.ns() - before));
+          }
         } catch (...) {
           errors[idx] = std::current_exception();
           failed = true;
@@ -227,6 +447,9 @@ void ParallelEngine::run_until(SimTime end) {
   for (auto& p : partitions_) {
     stats_.events_executed += p->sim().events_executed();
   }
+  stats_.sync_wait_seconds =
+      static_cast<double>(sync_wait_ns_total_.load(std::memory_order_relaxed)) /
+      1e9;
 
   for (auto& e : errors) {
     if (e) std::rethrow_exception(e);

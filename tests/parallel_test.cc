@@ -230,6 +230,136 @@ TEST(ParallelEngine, ConcurrentLoggingFromAllPartitionsIsSerialized) {
   }
 }
 
+TEST(ParallelEngine, PairLookaheadDefaultsToGlobal) {
+  ParallelEngine eng{basic_config(3)};
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      if (a == b) continue;
+      EXPECT_EQ(eng.pair_lookahead(a, b), SimTime::from_us(1));
+    }
+  }
+}
+
+TEST(ParallelEngine, SetPairLookaheadBelowGlobalThrows) {
+  ParallelEngine eng{basic_config(2)};
+  EXPECT_THROW(eng.set_pair_lookahead(0, 1, SimTime::from_ns(500)),
+               std::invalid_argument);
+  // At or above the global floor is fine.
+  eng.set_pair_lookahead(0, 1, SimTime::from_us(1));
+  eng.set_pair_lookahead(0, 1, SimTime::from_us(8));
+  EXPECT_EQ(eng.pair_lookahead(0, 1), SimTime::from_us(8));
+}
+
+TEST(ParallelEngine, PerPairWideLookaheadReducesRounds) {
+  // Same workload as SyncRoundCountIsExact, but the pair lookaheads are
+  // 8x the global one. Global mode must still step 1us windows; per-pair
+  // mode's windows follow the 8us pair bound (the self-window is the
+  // 16us shortest cycle through the other partition), so it needs
+  // strictly fewer rounds for identical results.
+  auto run_mode = [](ParallelEngine::WindowMode mode) {
+    auto cfg = basic_config(2);
+    cfg.window_mode = mode;
+    ParallelEngine eng{cfg};
+    eng.set_pair_lookahead(0, 1, SimTime::from_us(8));
+    eng.set_pair_lookahead(1, 0, SimTime::from_us(8));
+    auto& sim = eng.partition(0).sim();
+    std::vector<std::int64_t> fired;
+    for (int i = 1; i <= 10; ++i) {
+      sim.schedule_at(SimTime::from_us(3 * i),
+                      [&fired, &sim] { fired.push_back(sim.now().ns()); });
+    }
+    eng.run_until(SimTime::from_ms(1));
+    return std::pair{eng.stats().sync_rounds, fired};
+  };
+  const auto [global_rounds, global_fired] =
+      run_mode(ParallelEngine::WindowMode::global);
+  const auto [pair_rounds, pair_fired] =
+      run_mode(ParallelEngine::WindowMode::per_pair);
+  EXPECT_EQ(pair_fired, global_fired);
+  ASSERT_EQ(pair_fired.size(), 10u);
+  EXPECT_LT(pair_rounds, global_rounds);
+}
+
+TEST(ParallelEngine, PerPairManyToOneMatchesGlobalOrder) {
+  // The ManyToOneDrainsDeterministically scenario under per-pair windows:
+  // delivery order must be the same deterministic (time, source, seq)
+  // order the global window produces.
+  auto cfg = basic_config(4);
+  cfg.window_mode = ParallelEngine::WindowMode::per_pair;
+  ParallelEngine eng{cfg};
+  std::vector<int> order;
+  for (std::uint32_t p = 1; p < 4; ++p) {
+    auto& sim = eng.partition(p).sim();
+    sim.schedule_at(SimTime::from_us(1), [&eng, &order, p, &sim] {
+      eng.send_cross(p, 0, sim.now() + SimTime::from_us(3),
+                     [&order, p] { order.push_back(static_cast<int>(p)); });
+    });
+  }
+  eng.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(ParallelEngine, SendAcrossInfinitePairThrows) {
+  // An infinite pair lookahead declares "no channel exists"; sending on
+  // one is a builder wiring bug and must fail loudly, not corrupt the
+  // window math.
+  auto cfg = basic_config(2);
+  cfg.window_mode = ParallelEngine::WindowMode::per_pair;
+  ParallelEngine eng{cfg};
+  eng.set_pair_lookahead(0, 1, ParallelEngine::infinite_lookahead());
+  auto& s0 = eng.partition(0).sim();
+  s0.schedule_at(SimTime::from_us(1), [&] {
+    eng.send_cross(0, 1, s0.now() + SimTime::from_ms(1), [] {});
+  });
+  EXPECT_THROW(eng.run_until(SimTime::from_ms(10)), std::logic_error);
+}
+
+TEST(ParallelEngine, PairLookaheadViolationThrows) {
+  // The pair bound (3us) is tighter than what the message honors (2us):
+  // send_cross must validate against the pair matrix, not just the
+  // global lookahead.
+  auto cfg = basic_config(2);
+  cfg.window_mode = ParallelEngine::WindowMode::per_pair;
+  ParallelEngine eng{cfg};
+  eng.set_pair_lookahead(0, 1, SimTime::from_us(3));
+  auto& s0 = eng.partition(0).sim();
+  s0.schedule_at(SimTime::from_us(1), [&] {
+    eng.send_cross(0, 1, s0.now() + SimTime::from_us(2), [] {});
+  });
+  EXPECT_THROW(eng.run_until(SimTime::from_ms(1)), std::logic_error);
+}
+
+TEST(ParallelEngine, PerPairChainedWakeupsDeliverOnTime) {
+  // Transitive chain 2 -> 1 -> 0 where partition 0 is otherwise idle:
+  // the closure (not just direct pair bounds) must keep partition 0 from
+  // running past the relayed message. Delivery times prove no event ran
+  // early or was dropped.
+  auto cfg = basic_config(3);
+  cfg.window_mode = ParallelEngine::WindowMode::per_pair;
+  ParallelEngine eng{cfg};
+  // Loose direct bounds everywhere except the tight relay path.
+  for (std::uint32_t a = 0; a < 3; ++a) {
+    for (std::uint32_t b = 0; b < 3; ++b) {
+      if (a != b) eng.set_pair_lookahead(a, b, SimTime::from_us(100));
+    }
+  }
+  eng.set_pair_lookahead(2, 1, SimTime::from_us(1));
+  eng.set_pair_lookahead(1, 0, SimTime::from_us(1));
+  SimTime delivered;
+  auto& s2 = eng.partition(2).sim();
+  s2.schedule_at(SimTime::from_us(5), [&] {
+    eng.send_cross(2, 1, s2.now() + SimTime::from_us(1), [&] {
+      auto& s1 = eng.partition(1).sim();
+      eng.send_cross(1, 0, s1.now() + SimTime::from_us(1), [&] {
+        delivered = eng.partition(0).sim().now();
+      });
+    });
+  });
+  eng.run_until(SimTime::from_ms(1));
+  EXPECT_EQ(delivered, SimTime::from_us(7));
+  EXPECT_EQ(eng.stats().cross_messages, 2u);
+}
+
 TEST(ParallelEngine, RepeatedRunUntilExtends) {
   ParallelEngine eng{basic_config(2)};
   std::atomic<int> count{0};

@@ -39,14 +39,68 @@ TEST(PdesBuilder, PlacesAndWires) {
   EXPECT_EQ(net.switches.size(), 8u);
   for (auto* h : net.hosts) ASSERT_NE(h, nullptr);
   for (auto* s : net.switches) ASSERT_NE(s, nullptr);
-  // Racks round-robin: tor0 -> p0, tor1 -> p1, ...
+  // Placement comes from the plan; both partitions must be used and host
+  // placement must follow the rack.
+  EXPECT_EQ(net.partition_of_switch, net.plan.partition_of_switch);
+  std::vector<std::uint32_t> used(2, 0);
+  for (const auto p : net.partition_of_switch) {
+    ASSERT_LT(p, 2u);
+    ++used[p];
+  }
+  EXPECT_GT(used[0], 0u);
+  EXPECT_GT(used[1], 0u);
+  for (net::HostId h = 0; h < net.spec.total_hosts(); ++h) {
+    EXPECT_EQ(net.partition_of_host[h],
+              net.partition_of_switch[net.spec.tor_of_host(h)]);
+  }
+  // The wired cross-link count is exactly the plan's reported cut. On a
+  // leaf-spine every balanced placement cuts half the 4x4x2 fabric links.
+  EXPECT_EQ(net.cross_partition_links, net.plan.cut_links);
+  EXPECT_EQ(net.plan.total_links, 32u);
+  EXPECT_EQ(net.cross_partition_links, 16u);
+}
+
+TEST(PdesBuilder, RoundRobinPolicyMatchesLegacyPlacement) {
+  ParallelEngine engine{engine_config(2)};
+  const auto net = build_leaf_spine_partitioned(
+      engine, leaf_spine(4, 4), PlacementPolicy::round_robin);
+  // Legacy layout: rack r -> partition r % P, spines keep rotating.
   EXPECT_EQ(net.partition_of_switch[0], 0u);
   EXPECT_EQ(net.partition_of_switch[1], 1u);
-  // Host placement follows the rack.
   EXPECT_EQ(net.partition_of_host[0], 0u);
   EXPECT_EQ(net.partition_of_host[4], 1u);
-  // 4 tors x 4 spines x 2 directions; half the pairs cross with P=2.
   EXPECT_EQ(net.cross_partition_links, 16u);
+}
+
+TEST(PdesBuilder, GraphCutColocatesClustersOnFatTree) {
+  // 4-cluster Clos over 4 partitions: graph-cut keeps each cluster whole
+  // (only agg<->core links can cross), while round-robin shreds every
+  // cluster across every partition.
+  NetworkConfig cfg;
+  cfg.spec.clusters = 4;
+  cfg.spec.tors_per_cluster = 4;
+  cfg.spec.aggs_per_cluster = 2;
+  cfg.spec.hosts_per_tor = 2;
+  cfg.spec.cores = 2;
+
+  ParallelEngine cut_engine{engine_config(4)};
+  const auto cut =
+      build_clos_partitioned(cut_engine, cfg, PlacementPolicy::graph_cut);
+  ParallelEngine rr_engine{engine_config(4)};
+  const auto rr =
+      build_clos_partitioned(rr_engine, cfg, PlacementPolicy::round_robin);
+
+  EXPECT_LT(cut.plan.cut_links, rr.plan.cut_links);
+  // Every cluster's switches share one partition under graph-cut.
+  for (std::uint32_t c = 0; c < cfg.spec.clusters; ++c) {
+    const auto p = cut.partition_of_switch[cfg.spec.tor_id(c, 0)];
+    for (std::uint32_t t = 0; t < cfg.spec.tors_per_cluster; ++t) {
+      EXPECT_EQ(cut.partition_of_switch[cfg.spec.tor_id(c, t)], p);
+    }
+    for (std::uint32_t a = 0; a < cfg.spec.aggs_per_cluster; ++a) {
+      EXPECT_EQ(cut.partition_of_switch[cfg.spec.agg_id(c, a)], p);
+    }
+  }
 }
 
 TEST(PdesBuilder, RejectsNonLeafSpine) {
@@ -84,13 +138,26 @@ TEST(PdesNetwork, CrossPartitionFlowCompletes) {
 TEST(PdesNetwork, ManyFlowsAcrossFourPartitions) {
   ParallelEngine engine{engine_config(4)};
   auto net = build_leaf_spine_partitioned(engine, leaf_spine(8, 8));
+  // One flow per partition, each sourced from a host that partition owns
+  // (looked up via the plan, not assumed from legacy placement).
+  std::vector<net::HostId> src_of_partition(4, net::HostId{0});
+  std::vector<bool> found(4, false);
+  for (net::HostId h = 0; h < net.spec.total_hosts(); ++h) {
+    const std::uint32_t p = net.partition_of_host[h];
+    if (!found[p]) {
+      src_of_partition[p] = h;
+      found[p] = true;
+    }
+  }
   std::atomic<int> completions{0};
   for (std::uint32_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(found[p]) << "partition " << p << " owns no host";
     auto& psim = engine.partition(p).sim();
-    psim.schedule_at(SimTime::from_us(10 + p), [&net, &completions, p] {
-      // Each partition's first rack host sends to the next rack over.
-      const net::HostId src = p * 4;  // rack p host 0 (racks round-robin)
-      const net::HostId dst = (src + 4) % 32;
+    const net::HostId src = src_of_partition[p];
+    psim.schedule_at(SimTime::from_us(10 + p), [&net, &completions, src, p] {
+      // Send to the next rack over (always a different ToR).
+      const net::HostId dst =
+          (src + net.spec.hosts_per_tor) % net.spec.total_hosts();
       auto* c = net.hosts[src]->open_flow(dst, 20'000,
                                           static_cast<std::uint64_t>(p));
       c->on_complete = [&completions] { completions.fetch_add(1); };
@@ -98,6 +165,42 @@ TEST(PdesNetwork, ManyFlowsAcrossFourPartitions) {
   }
   engine.run_until(SimTime::from_ms(100));
   EXPECT_EQ(completions.load(), 4);
+}
+
+TEST(PdesNetwork, FatTreeCrossClusterFlowMatchesSequential) {
+  // A cross-cluster flow on a 2-cluster Clos partitioned over 2 engines
+  // must behave exactly as in the sequential full build.
+  NetworkConfig cfg;
+  cfg.spec.clusters = 2;
+  cfg.spec.tors_per_cluster = 2;
+  cfg.spec.aggs_per_cluster = 2;
+  cfg.spec.hosts_per_tor = 2;
+  cfg.spec.cores = 2;
+  const net::HostId src = 0;
+  const net::HostId dst = cfg.spec.hosts_per_cluster();  // first host, c1
+
+  auto run_pdes = [&] {
+    ParallelEngine engine{engine_config(2)};
+    auto net = build_clos_partitioned(engine, cfg);
+    tcp::TcpConnection* conn = nullptr;
+    auto& ssim = engine.partition(net.partition_of_host[src]).sim();
+    ssim.schedule_at(SimTime::from_us(10),
+                     [&] { conn = net.hosts[src]->open_flow(dst, 60'000, 1); });
+    engine.run_until(SimTime::from_ms(100));
+    return conn->stats().segments_sent;
+  };
+  auto run_seq = [&] {
+    sim::Simulator sim{3};
+    auto net = build_full_network(sim, cfg);
+    tcp::TcpConnection* conn = nullptr;
+    sim.schedule_at(SimTime::from_us(10),
+                    [&] { conn = net.hosts[src]->open_flow(dst, 60'000, 1); });
+    sim.run_until(SimTime::from_ms(100));
+    return conn->stats().segments_sent;
+  };
+  const auto pdes_segments = run_pdes();
+  EXPECT_GT(pdes_segments, 0u);
+  EXPECT_EQ(pdes_segments, run_seq());
 }
 
 TEST(PdesNetwork, MatchesSingleThreadedFlowOutcome) {

@@ -1,0 +1,158 @@
+#include "sim/spsc_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace esim::sim {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(2).capacity(), 2u);
+  EXPECT_EQ(SpscQueue<int>(3).capacity(), 4u);
+  EXPECT_EQ(SpscQueue<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(SpscQueue<int>(1024).capacity(), 1024u);
+}
+
+TEST(SpscQueue, PushPopSingleThreaded) {
+  SpscQueue<int> q{4};
+  int out = 0;
+  EXPECT_FALSE(q.try_pop(out));
+  EXPECT_TRUE(q.empty_approx());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(int{i}));
+  EXPECT_EQ(q.size_approx(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(SpscQueue, FullRingRejectsWithoutConsuming) {
+  SpscQueue<int> q{2};
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  int v = 3;
+  EXPECT_FALSE(q.try_push(std::move(v)));
+  EXPECT_EQ(v, 3);  // rejected pushes leave the value intact
+  int out = 0;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(q.try_push(3));  // freed slot is reusable
+}
+
+TEST(SpscQueue, WraparoundPreservesFifoOrder) {
+  // Push/pop far past capacity so the monotonic indices wrap the mask
+  // many times; order must stay FIFO throughout.
+  SpscQueue<std::uint64_t> q{8};
+  std::uint64_t next_in = 0, next_out = 0;
+  for (int round = 0; round < 1000; ++round) {
+    while (q.try_push(std::uint64_t{next_in})) ++next_in;
+    std::uint64_t v = 0;
+    while (q.try_pop(v)) {
+      EXPECT_EQ(v, next_out);
+      ++next_out;
+    }
+  }
+  EXPECT_EQ(next_in, next_out);
+  EXPECT_GT(next_out, 1000u);
+}
+
+TEST(SpscQueue, MoveOnlyPayloads) {
+  SpscQueue<std::unique_ptr<int>> q{4};
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscQueue, DestructorReleasesUndrainedElements) {
+  // Leaves live elements in the ring; ASAN/LSAN verifies they are freed.
+  auto counter = std::make_shared<int>(0);
+  {
+    SpscQueue<std::shared_ptr<int>> q{8};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(q.try_push(std::shared_ptr<int>{counter}));
+    }
+    EXPECT_EQ(counter.use_count(), 6);
+  }
+  EXPECT_EQ(counter.use_count(), 1);
+}
+
+TEST(SpscQueue, ConcurrentStressTransfersEverythingInOrder) {
+  // One producer, one consumer, ring much smaller than the message count
+  // so both the full path (producer backpressure) and the empty path
+  // (consumer spinning) are exercised constantly. TSAN validates the
+  // release/acquire pairs; the assertions validate FIFO and no loss.
+  constexpr std::uint64_t kMessages = 200'000;
+  SpscQueue<std::uint64_t> q{16};
+  std::atomic<std::uint64_t> rejected{0};
+
+  std::thread producer([&] {
+    for (std::uint64_t i = 0; i < kMessages;) {
+      if (q.try_push(std::uint64_t{i})) {
+        ++i;
+      } else {
+        rejected.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  std::uint64_t expected = 0;
+  while (expected < kMessages) {
+    std::uint64_t v = 0;
+    if (q.try_pop(v)) {
+      ASSERT_EQ(v, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(q.try_pop(leftover));
+  // With a 16-slot ring and 200k messages the producer must have hit
+  // backpressure at least once on any real scheduler; don't assert it
+  // (a pathological interleaving could avoid it) but do exercise it.
+  (void)rejected;
+}
+
+TEST(SpscQueue, ConcurrentMoveOnlyStress) {
+  constexpr int kMessages = 50'000;
+  SpscQueue<std::unique_ptr<int>> q{8};
+
+  std::thread producer([&] {
+    for (int i = 0; i < kMessages;) {
+      auto p = std::make_unique<int>(i);
+      if (q.try_push(std::move(p))) {
+        ++i;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+
+  int expected = 0;
+  while (expected < kMessages) {
+    std::unique_ptr<int> p;
+    if (q.try_pop(p)) {
+      ASSERT_NE(p, nullptr);
+      ASSERT_EQ(*p, expected);
+      ++expected;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  producer.join();
+}
+
+}  // namespace
+}  // namespace esim::sim
