@@ -51,11 +51,12 @@ echo "=== default — esim_diffcheck scale-out fuzz (8/16 partitions) ==="
 (cd build && ./tools/esim_diffcheck fuzz --n 15 --seed 23 --partitions 8,16)
 
 # The inference bench doubles as a sanitizer workout for the packed
-# SIMD kernels and the workspace plan: quick-mode it streams every
-# trunk/hidden config through both predict paths (bit-identity checked,
-# exit 1 on mismatch) plus a hybrid telemetry run.
-echo "=== asan-ubsan — bench_inference smoke ==="
-(cd build-asan && ESIM_BENCH_QUICK=1 ./bench/bench_inference)
+# SIMD kernels and the workspace plan. `--batch` runs the batched
+# phases: the lanes/sequence sweep at N in {1,4,16,64} (bit-identity
+# checked against independent single-lane sessions, exit 1 on mismatch)
+# plus a hybrid run with the coalesced prediction queue on vs off.
+echo "=== asan-ubsan — bench_inference --batch smoke ==="
+(cd build-asan && ./bench/bench_inference --batch)
 
 # Quick sweep of the PDES scaling bench under ASan/UBSan: drives the
 # partitioner, per-pair windows, and SPSC rings at 1..8 partitions with
@@ -68,8 +69,11 @@ cmake --preset tsan
 echo "=== preset: tsan — build ==="
 cmake --build --preset tsan "${jobs}"
 echo "=== preset: tsan — test (threaded suites) ==="
+# BatchCluster / HybridPdesBatch cover the coalesced prediction queue's
+# flush timers interleaving with the telemetry flusher and with
+# cross-partition deliveries.
 ctest --preset tsan "${jobs}" -R \
-  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner'
+  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner|BatchCluster'
 
 if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
   echo "=== preset: coverage — configure ==="

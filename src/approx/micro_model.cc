@@ -75,6 +75,13 @@ void MicroModel::compile() {
       {&drop_head_->weight(), &drop_head_->bias()},
       {&latency_head_->weight(), &latency_head_->bias()}};
   session_ = trunk_->make_inference_session(heads);
+  // make_inference_session watches the trunk; optimizers over the whole
+  // MicroModel (the trainer's setup) or a single head bump those
+  // versions instead, so watch them too — any write path to the
+  // snapshotted weights must trip the staleness check.
+  session_->watch_weight_source(*this);
+  session_->watch_weight_source(*drop_head_);
+  session_->watch_weight_source(*latency_head_);
 }
 
 void MicroModel::recompile() {
@@ -132,6 +139,29 @@ MicroModel::Prediction MicroModel::predict(
   p.drop_probability = ml::sigmoid(out[0]);
   p.latency_seconds = denormalize_latency(out[1]);
   return p;
+}
+
+void MicroModel::reserve_batch(std::size_t max_n) {
+  session_->reserve_batch(max_n);
+}
+
+std::size_t MicroModel::predict_batch(std::span<const double> features,
+                                      std::span<Prediction> out) {
+  const std::size_t n = features.size() / PacketFeatures::kDim;
+  if (features.size() != n * PacketFeatures::kDim || out.size() < n) {
+    throw std::invalid_argument(
+        "MicroModel::predict_batch: feature/output size mismatch");
+  }
+  const std::span<const double> raw = session_->predict_batch(features, n);
+  // Per packet the head outputs — and therefore sigmoid/de-normalization
+  // inputs — are bit-identical to a predict() call at the same stream
+  // position, so the Prediction structs match the sequential path
+  // exactly.
+  for (std::size_t t = 0; t < n; ++t) {
+    out[t].drop_probability = ml::sigmoid(raw[t * 2]);
+    out[t].latency_seconds = denormalize_latency(raw[t * 2 + 1]);
+  }
+  return n;
 }
 
 MicroModel::Prediction MicroModel::predict_reference(

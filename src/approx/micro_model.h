@@ -66,11 +66,25 @@ class MicroModel : public ml::Module {
   /// Streaming inference for one packet: advances the hidden state and
   /// returns the joint prediction. Latency is de-normalized via the stats
   /// set at training time. Runs the fused InferenceSession; performs no
-  /// heap allocation.
+  /// heap allocation. Throws std::logic_error if the compiled session is
+  /// stale (weights written since the last recompile()).
   Prediction predict(std::span<const double> features);
   Prediction predict(const PacketFeatures& features) {
     return predict(std::span<const double>{features.v});
   }
+
+  /// Batched streaming inference over n packets in arrival order:
+  /// features holds n rows of PacketFeatures::kDim doubles, out receives
+  /// n predictions. Recurrent state advances exactly as n predict()
+  /// calls would and every prediction is bit-identical to the sequential
+  /// path (ml::InferenceSession::predict_batch contract); the layer
+  /// weight streams are amortized across the batch. Returns n. Zero heap
+  /// allocations once reserve_batch() covers n.
+  std::size_t predict_batch(std::span<const double> features,
+                            std::span<Prediction> out);
+
+  /// Pre-sizes the session's batch workspace for predict_batch(n <= max_n).
+  void reserve_batch(std::size_t max_n);
 
   /// The naive Tensor step() path, kept as the reference implementation
   /// for the bit-identity contract (and the baseline of

@@ -29,7 +29,10 @@ TrainReport train_micro_model(MicroModel& model, const Dataset& dataset,
   ocfg.learning_rate = config.learning_rate;
   ocfg.momentum = config.momentum;
   ocfg.clip_norm = config.clip_norm;
-  ml::SgdMomentum opt{model.parameters(), ocfg};
+  // The Module overload bumps the model's weight version on every step,
+  // so a compiled InferenceSession that misses the recompile below
+  // throws instead of silently predicting with pre-training weights.
+  ml::SgdMomentum opt{model, ocfg};
 
   sim::Rng rng{config.seed};
   TrainReport report;

@@ -1,0 +1,239 @@
+#include "check/hybrid_diff.h"
+
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/hybrid_pdes.h"
+#include "sim/parallel.h"
+#include "sim/random.h"
+
+namespace esim::check {
+namespace {
+
+/// Schedules every flow whose source host `owner` maps to partition `p`
+/// on `sim`, with completion wired into the digest.
+void inject_flows(sim::Simulator& sim, const std::vector<FlowSpec>& flows,
+                  const std::vector<tcp::Host*>& hosts,
+                  const std::vector<std::uint32_t>& owner, std::uint32_t p,
+                  StateDigest& digest) {
+  for (const FlowSpec& f : flows) {
+    if (owner[f.src] != p) continue;
+    tcp::Host* host = hosts[f.src];
+    sim.schedule_at(sim::SimTime::from_ns(f.start_ns), [host, f, &digest] {
+      auto* conn = host->open_flow(f.dst, f.bytes, f.flow_id);
+      const sim::SimTime start = host->sim().now();
+      conn->on_complete = [host, f, start, &digest] {
+        digest.on_flow_complete(f.flow_id, f.src, f.dst, f.bytes, start,
+                                host->sim().now());
+      };
+    });
+  }
+}
+
+}  // namespace
+
+core::HybridConfig HybridScenario::hybrid_config(bool batching) const {
+  core::HybridConfig cfg;
+  cfg.net.spec.clusters = clusters;
+  cfg.net.spec.tors_per_cluster = tors_per_cluster;
+  cfg.net.spec.aggs_per_cluster = aggs_per_cluster;
+  cfg.net.spec.hosts_per_tor = hosts_per_tor;
+  cfg.net.spec.cores = cores;
+  cfg.approx.sample_drops = sample_drops;
+  cfg.approx.min_latency_s = min_latency_us * 1e-6;
+  cfg.approx.max_port_backlog =
+      sim::SimTime::from_ns(static_cast<std::int64_t>(max_port_backlog_us * 1e3));
+  if (batching) {
+    cfg.approx.batch_max = batch_max;
+    cfg.approx.batch_window = sim::SimTime::from_ns(batch_window_ns);
+  }
+  return cfg;
+}
+
+approx::MicroModel HybridScenario::make_model(std::uint64_t seed_offset) const {
+  approx::MicroModel::Config mcfg;
+  mcfg.hidden = 8;
+  mcfg.layers = 1;
+  mcfg.seed = model_seed + seed_offset;
+  approx::MicroModel m{mcfg};
+  // Seeded random trunk/head weights give feature-dependent predictions;
+  // the bias pins the baseline drop rate, and the normalization places
+  // latencies around latency_mean_us (with some below the configured
+  // floor, exercising the min-latency clamp).
+  m.drop_head().bias().at(0, 0) = drop_bias;
+  m.set_latency_normalization(std::log(latency_mean_us), latency_std);
+  m.recompile();  // the bias write above bypassed the compiled snapshot
+  return m;
+}
+
+void HybridScenario::validate() const {
+  if (clusters < 2) {
+    throw std::invalid_argument("HybridScenario: need >= 2 clusters");
+  }
+  if (tors_per_cluster == 0 || aggs_per_cluster == 0 || hosts_per_tor == 0 ||
+      cores == 0) {
+    throw std::invalid_argument("HybridScenario: empty topology dimension");
+  }
+  if (latency_mean_us <= 0.0 || latency_std <= 0.0 || min_latency_us <= 0.0) {
+    throw std::invalid_argument("HybridScenario: non-positive latency knob");
+  }
+  if (batch_max < 2 || batch_window_ns <= 0) {
+    throw std::invalid_argument("HybridScenario: degenerate batch config");
+  }
+  if (static_cast<double>(batch_window_ns + lookahead_ns) >
+      min_latency_us * 1e3) {
+    throw std::invalid_argument(
+        "HybridScenario: batch_window + lookahead exceeds min latency");
+  }
+  std::set<std::int64_t> starts;
+  std::set<std::uint64_t> ids;
+  for (const FlowSpec& f : flows) {
+    if (f.src >= total_hosts() || f.dst >= total_hosts() || f.src == f.dst) {
+      throw std::invalid_argument("HybridScenario: bad flow endpoints");
+    }
+    if (f.bytes == 0 || f.start_ns < 0 || f.start_ns >= duration_ns) {
+      throw std::invalid_argument("HybridScenario: bad flow size/start");
+    }
+    if (!starts.insert(f.start_ns).second) {
+      throw std::invalid_argument("HybridScenario: duplicate start time");
+    }
+    if (!ids.insert(f.flow_id).second) {
+      throw std::invalid_argument("HybridScenario: duplicate flow id");
+    }
+  }
+}
+
+std::string HybridScenario::summary() const {
+  std::ostringstream os;
+  os << clusters << " clusters x " << tors_per_cluster * hosts_per_tor
+     << " hosts, " << flows.size() << " flows, batch " << batch_max << "/"
+     << batch_window_ns << "ns, minlat " << min_latency_us << "us, bias "
+     << drop_bias << ", " << duration_ns / 1'000'000.0 << "ms";
+  return os.str();
+}
+
+HybridScenario random_hybrid_scenario(std::uint64_t scenario_seed) {
+  // Seeds feed the engine (component RNG forks); keep them odd and
+  // decorrelated from the scenario-shape draws.
+  sim::Rng rng{scenario_seed * 2 + 1};
+  HybridScenario sc;
+  sc.seed = scenario_seed + 11;
+  sc.clusters = 3 + static_cast<std::uint32_t>(rng.uniform_int(2));
+  sc.cores = 2;
+  sc.model_seed = rng.uniform_int(1'000) + 1;
+  // Mostly gentle drop baselines (sampled rates ~5-20%); one scenario in
+  // four sits near the threshold so p > 0.5 drops fire deterministically
+  // in the cross-engine comparison too.
+  sc.drop_bias = rng.uniform_int(4) == 0 ? 0.2 : -3.0 + rng.uniform() * 1.5;
+  sc.latency_mean_us = 5.0 + rng.uniform() * 5.0;
+  sc.latency_std = 0.2 + rng.uniform() * 0.3;
+  sc.min_latency_us = 4.0 + rng.uniform() * 2.0;
+  sc.max_port_backlog_us = 20.0 + rng.uniform() * 20.0;
+  sc.lookahead_ns = 1'000;
+  const std::size_t batch_choices[] = {4, 8, 16};
+  sc.batch_max = batch_choices[rng.uniform_int(3)];
+  const std::int64_t max_window =
+      static_cast<std::int64_t>(sc.min_latency_us * 1e3) - sc.lookahead_ns;
+  sc.batch_window_ns =
+      1'000 + static_cast<std::int64_t>(rng.uniform_int(
+                  static_cast<std::uint64_t>(max_window - 1'000)));
+  sc.duration_ns = 2'000'000 + static_cast<std::int64_t>(
+                                   rng.uniform_int(1'000'000));
+
+  const std::uint32_t hosts = sc.total_hosts();
+  const std::uint64_t n_flows = 6 + rng.uniform_int(9);
+  for (std::uint64_t k = 0; k < n_flows; ++k) {
+    FlowSpec f;
+    f.src = static_cast<net::HostId>(rng.uniform_int(hosts));
+    do {
+      f.dst = static_cast<net::HostId>(rng.uniform_int(hosts));
+    } while (f.dst == f.src);
+    f.bytes = (4 + rng.uniform_int(40)) * 1'400;
+    // Strictly increasing starts: spacing exceeds the jitter range, so
+    // start times are globally unique by construction.
+    f.start_ns = 10'000 + static_cast<std::int64_t>(k) * 3'000 +
+                 static_cast<std::int64_t>(rng.uniform_int(2'000));
+    f.flow_id = k + 1;
+    sc.flows.push_back(f);
+  }
+  sc.validate();
+  return sc;
+}
+
+Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
+                  bool batching) {
+  sc.validate();
+  const approx::MicroModel ingress = sc.make_model(0);
+  const approx::MicroModel egress = sc.make_model(7);
+  const auto end = sim::SimTime::from_ns(sc.duration_ns);
+  StateDigest digest;
+
+  if (partitions == 0) {
+    sim::Simulator sim{sc.seed};
+    auto net =
+        core::build_hybrid_network(sim, sc.hybrid_config(batching), ingress,
+                                   egress);
+    digest.attach(sim);
+    const std::vector<std::uint32_t> owner(sc.total_hosts(), 0);
+    inject_flows(sim, sc.flows, net.hosts, owner, 0, digest);
+    sim.run_until(end);
+    return digest.finalize();
+  }
+
+  sim::ParallelEngine::Config cfg;
+  cfg.num_partitions = partitions;
+  cfg.lookahead = sim::SimTime::from_ns(sc.lookahead_ns);
+  cfg.seed = sc.seed;
+  sim::ParallelEngine engine{cfg};
+  auto out = core::build_hybrid_network_partitioned(
+      engine, sc.hybrid_config(batching), ingress, egress);
+  digest.attach(engine);
+  for (std::uint32_t p = 0; p < engine.num_partitions(); ++p) {
+    inject_flows(engine.partition(p).sim(), sc.flows, out.net.hosts,
+                 out.partition_of_host, p, digest);
+  }
+  engine.run_until(end);
+  return digest.finalize();
+}
+
+std::string check_hybrid(const HybridScenario& sc,
+                         const std::vector<std::uint32_t>& partitions) {
+  std::ostringstream os;
+
+  // A. RNG draw-order contract: same engine, batching on vs off, drops
+  // sampled from the cluster's private stream. Creation order (and so
+  // every forked stream) is identical across the two runs, so any
+  // divergence is a real draw-order or outcome-replay bug.
+  HybridScenario sampled = sc;
+  sampled.sample_drops = true;
+  const Digest seq_off = run_hybrid(sampled, 0, /*batching=*/false);
+  const Digest seq_on = run_hybrid(sampled, 0, /*batching=*/true);
+  if (!seq_off.engine_invariant_equal(seq_on)) {
+    os << "sequential batching off vs on DIVERGED (sampled drops)\n"
+       << "  off: " << seq_off.to_string() << "\n"
+       << "  on:  " << seq_on.to_string();
+    return os.str();
+  }
+
+  // B. Engine equivalence with coalescing active on both sides. Threshold
+  // drops only: sequential and PDES builds fork component RNGs from
+  // different roots, so sampled draws differ by construction, not by bug.
+  HybridScenario threshold = sc;
+  threshold.sample_drops = false;
+  const Digest seq = run_hybrid(threshold, 0, /*batching=*/true);
+  for (const std::uint32_t p : partitions) {
+    const Digest pdes = run_hybrid(threshold, p, /*batching=*/true);
+    if (!seq.engine_invariant_equal(pdes)) {
+      os << "sequential vs pdes(" << p
+         << ") DIVERGED with batching active (threshold drops)\n"
+         << "  sequential: " << seq.to_string() << "\n"
+         << "  pdes(" << p << "): " << pdes.to_string();
+      return os.str();
+    }
+  }
+  return {};
+}
+
+}  // namespace esim::check

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <span>
 #include <stdexcept>
 
 #include "telemetry/metrics.h"
@@ -24,6 +25,24 @@ ApproxCluster::ApproxCluster(sim::Simulator& sim, std::string name,
       egress_features_{config.spec, config.cluster, Direction::Egress},
       macro_{config.macro} {
   config_.spec.validate();
+  if (batching()) {
+    // A queued packet admitted at t is flushed no later than t +
+    // batch_window and delivered no earlier than t + min_latency_s; the
+    // window must not exceed the floor or a flush could have to
+    // schedule a delivery in its past.
+    if (config_.batch_window >
+        sim::SimTime::from_seconds_f(config_.min_latency_s)) {
+      throw std::invalid_argument(
+          this->name() + ": batch_window exceeds min_latency_s");
+    }
+    pending_.reserve(config_.batch_max);
+    egress_feat_.reserve(config_.batch_max * approx::PacketFeatures::kDim);
+    ingress_feat_.reserve(config_.batch_max * approx::PacketFeatures::kDim);
+    egress_preds_.resize(config_.batch_max);
+    ingress_preds_.resize(config_.batch_max);
+    ingress_model_.reserve_batch(config_.batch_max);
+    egress_model_.reserve_batch(config_.batch_max);
+  }
   ingress_model_.reset_state();
   egress_model_.reset_state();
   cores_.resize(config_.spec.cores, nullptr);
@@ -76,6 +95,11 @@ void ApproxCluster::attach_host(net::HostId id, tcp::Host* host) {
 
 void ApproxCluster::start() {
   schedule_in(macro_.window(), [this] {
+    // Simulator-barrier flush: queued packets were admitted (and in the
+    // unbatched ordering would have been observed by the macro model)
+    // before this window boundary, so they must be resolved before the
+    // window advances.
+    flush_batch();
     const approx::MacroState before = macro_.state();
     macro_.advance_window();
     if (macro_.state() != before) {
@@ -87,12 +111,27 @@ void ApproxCluster::start() {
   });
 }
 
-bool ApproxCluster::decide_drop(double probability) {
-  if (config_.sample_drops) return rng().bernoulli(probability);
+// RNG draw-order contract: with sample_drops, every admitted packet
+// consumes exactly one uniform draw from this component's stream at
+// ADMISSION, in arrival order (enqueue_packet/process_packet), and the
+// decision replays that pre-drawn value here — never a fresh draw at
+// flush time, which would permute the stream against the unbatched
+// path. `draw < p` is precisely Rng::bernoulli(p). Threshold mode draws
+// nothing in either path.
+bool ApproxCluster::decide_drop(double probability, double draw) const {
+  if (config_.sample_drops) return draw < probability;
   return probability > 0.5;
 }
 
 void ApproxCluster::handle_packet(Packet pkt) {
+  if (batching()) {
+    enqueue_packet(std::move(pkt));
+  } else {
+    process_packet(std::move(pkt));
+  }
+}
+
+void ApproxCluster::process_packet(Packet pkt) {
   const std::uint32_t src_cluster =
       config_.spec.cluster_of_host(pkt.flow.src_host);
   const std::uint32_t dst_cluster =
@@ -123,34 +162,137 @@ void ApproxCluster::handle_packet(Packet pkt) {
     telemetry::Span span{"approx.inference"};
     prediction = infer();
   }
+  Pending p;
+  p.arrival = now();
+  p.egress = egress;
+  p.dst_cluster = dst_cluster;
+  p.pkt = std::move(pkt);
+  if (config_.sample_drops) p.drop_draw = rng().uniform();
+  apply_outcome(std::move(p), prediction);
+}
+
+void ApproxCluster::enqueue_packet(Packet pkt) {
+  const std::uint32_t src_cluster =
+      config_.spec.cluster_of_host(pkt.flow.src_host);
+  const bool egress = src_cluster == config_.cluster;
+  approx::FeatureExtractor& extractor =
+      egress ? egress_features_ : ingress_features_;
+  // Everything arrival-time-dependent happens at admission: the feature
+  // row (inter-arrival gap EWMA, macro one-hot) and — critically for
+  // digest identity — the per-packet drop draw, which the unbatched
+  // path consumes from this component's RNG stream in arrival order.
+  const approx::PacketFeatures features =
+      extractor.extract(pkt, now(), macro_.state());
+  std::vector<double>& feat = egress ? egress_feat_ : ingress_feat_;
+  feat.insert(feat.end(), features.v.begin(), features.v.end());
+  Pending p;
+  p.arrival = now();
+  p.egress = egress;
+  p.dst_cluster = config_.spec.cluster_of_host(pkt.flow.dst_host);
+  p.pkt = std::move(pkt);
+  if (config_.sample_drops) p.drop_draw = rng().uniform();
+  if (pending_.empty()) {
+    // Window-edge flush. The epoch guard voids the timer when a
+    // queue-full or barrier flush empties the queue first.
+    const std::uint64_t epoch = batch_epoch_;
+    schedule_in(config_.batch_window, [this, epoch] {
+      if (epoch == batch_epoch_) flush_batch();
+    });
+  }
+  pending_.push_back(std::move(p));
+  if (pending_.size() >= config_.batch_max) flush_batch();
+}
+
+void ApproxCluster::flush_batch() {
+  if (pending_.empty()) return;
+  ++batch_epoch_;
+  const std::size_t n_egress = egress_feat_.size() / approx::PacketFeatures::kDim;
+  const std::size_t n_ingress =
+      ingress_feat_.size() / approx::PacketFeatures::kDim;
+  {
+    // One batched prediction per direction; each direction's rows are in
+    // its own arrival order, so the recurrent state advances exactly as
+    // the unbatched per-packet calls would.
+    telemetry::Span span{"approx.inference_batch"};
+    const auto t0 = std::chrono::steady_clock::now();
+    if (config_.reference_inference) {
+      std::size_t ei = 0, ii = 0;
+      for (const Pending& p : pending_) {
+        approx::MicroModel& model = p.egress ? egress_model_ : ingress_model_;
+        const std::vector<double>& feat =
+            p.egress ? egress_feat_ : ingress_feat_;
+        std::size_t& cursor = p.egress ? ei : ii;
+        const std::span<const double> row{
+            feat.data() + cursor * approx::PacketFeatures::kDim,
+            approx::PacketFeatures::kDim};
+        (p.egress ? egress_preds_ : ingress_preds_)[cursor] =
+            model.predict_reference(row);
+        ++cursor;
+      }
+    } else {
+      if (n_egress > 0) {
+        egress_model_.predict_batch(egress_feat_,
+                                    std::span{egress_preds_});
+      }
+      if (n_ingress > 0) {
+        ingress_model_.predict_batch(ingress_feat_,
+                                     std::span{ingress_preds_});
+      }
+    }
+    if (m_inferences_ != nullptr) {
+      m_inferences_->inc(pending_.size());
+      // Wall-clock cost of the whole batch; per-packet cost is this
+      // over pending_batch().
+      m_inference_ns_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    }
+  }
+  // Outcomes replay in global arrival order: macro observations, stats,
+  // and port reservations all happen in the same sequence — with the
+  // same desired times — as the unbatched path.
+  std::size_t ei = 0, ii = 0;
+  for (Pending& p : pending_) {
+    const approx::MicroModel::Prediction& prediction =
+        p.egress ? egress_preds_[ei++] : ingress_preds_[ii++];
+    apply_outcome(std::move(p), prediction);
+  }
+  pending_.clear();
+  egress_feat_.clear();
+  ingress_feat_.clear();
+}
+
+void ApproxCluster::apply_outcome(
+    Pending&& p, const approx::MicroModel::Prediction& prediction) {
   const double latency =
       std::max(prediction.latency_seconds, config_.min_latency_s);
-
-  const bool drop = decide_drop(prediction.drop_probability);
+  const bool drop = decide_drop(prediction.drop_probability, p.drop_draw);
   macro_.observe(latency, drop);
   if (drop) {
     ++stats_.predicted_drops;
     return;  // TCP on the endpoints recovers, as with a real queue drop
   }
-
-  if (egress && dst_cluster == config_.cluster) {
+  const sim::SimTime desired =
+      p.arrival + sim::SimTime::from_seconds_f(latency);
+  if (p.egress && p.dst_cluster == config_.cluster) {
     // Intra-cluster traffic of an approximated cluster. Normally elided
     // by the workload filter (paper §6.2); when present, the fabric model
     // delivers it directly to the destination host.
     ++stats_.intra_packets;
-    deliver_ingress(std::move(pkt), latency);
+    deliver_ingress(std::move(p.pkt), desired);
     return;
   }
-  if (egress) {
+  if (p.egress) {
     ++stats_.egress_packets;
-    deliver_egress(std::move(pkt), latency);
+    deliver_egress(std::move(p.pkt), desired);
   } else {
     ++stats_.ingress_packets;
-    deliver_ingress(std::move(pkt), latency);
+    deliver_ingress(std::move(p.pkt), desired);
   }
 }
 
-void ApproxCluster::deliver_egress(Packet pkt, double latency_s) {
+void ApproxCluster::deliver_egress(Packet pkt, sim::SimTime desired) {
   const auto path = net::compute_path(config_.spec, pkt.flow);
   if (path.len != 5) {
     throw std::logic_error(name() + ": egress packet without a core hop");
@@ -162,7 +304,6 @@ void ApproxCluster::deliver_egress(Packet pkt, double latency_s) {
     throw std::logic_error(name() + ": core " + std::to_string(core_index) +
                            " not attached");
   }
-  const sim::SimTime desired = now() + sim::SimTime::from_seconds_f(latency_s);
   const auto granted = core_ports_[core_index].try_reserve(
       desired, pkt.size_bytes(), config_.max_port_backlog);
   if (!granted) {
@@ -180,7 +321,7 @@ void ApproxCluster::deliver_egress(Packet pkt, double latency_s) {
   }
 }
 
-void ApproxCluster::deliver_ingress(Packet pkt, double latency_s) {
+void ApproxCluster::deliver_ingress(Packet pkt, sim::SimTime desired) {
   const std::uint32_t offset =
       pkt.flow.dst_host % config_.spec.hosts_per_cluster();
   tcp::Host* host = hosts_.at(offset);
@@ -188,7 +329,6 @@ void ApproxCluster::deliver_ingress(Packet pkt, double latency_s) {
     throw std::logic_error(name() + ": host offset " +
                            std::to_string(offset) + " not attached");
   }
-  const sim::SimTime desired = now() + sim::SimTime::from_seconds_f(latency_s);
   const auto granted = host_ports_[offset].try_reserve(
       desired, pkt.size_bytes(), config_.max_port_backlog);
   if (!granted) {

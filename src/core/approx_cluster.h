@@ -60,6 +60,21 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
     /// the bit-identity contract (the two paths produce identical
     /// predictions); production keeps the session.
     bool reference_inference = false;
+    /// Cross-packet batched inference (DESIGN.md §8): when batch_max > 1
+    /// and batch_window > 0, boundary packets are queued and predicted
+    /// in one MicroModel::predict_batch call per direction. The queue
+    /// flushes on the window edge, when batch_max packets are pending,
+    /// or at the macro-window barrier — a packet is never held past
+    /// batch_window, and batch_window may not exceed min_latency_s (so a
+    /// queued packet's delivery, at arrival + >= min_latency_s, can
+    /// always still be scheduled at flush time; the hybrid PDES builder
+    /// additionally bounds it by min_latency_s - lookahead, see
+    /// hybrid_pdes.cc). Outcomes are bit-identical to the unbatched
+    /// path: features are extracted and drop draws consumed at admission
+    /// in arrival order, and deliveries are reserved relative to each
+    /// packet's arrival time.
+    std::size_t batch_max = 1;
+    sim::SimTime batch_window{};
     /// Macro classifier parameters.
     approx::MacroClassifier::Config macro;
   };
@@ -102,12 +117,40 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   /// Current macro state.
   approx::MacroState macro_state() const { return macro_.state(); }
 
+  /// Predicts, decides, and delivers every queued packet (batched mode).
+  /// Called on the window-edge timer, on queue-full, before the macro
+  /// window advances, and as the barrier at stats snapshots (a duration
+  /// cutoff can land mid-window; the queued outcomes are already fully
+  /// determined at admission). Harmless when nothing is pending.
+  void flush_batch();
+
+  /// Number of packets currently coalesced in the prediction queue.
+  std::size_t pending_batch() const { return pending_.size(); }
+
   const Stats& stats() const { return stats_; }
 
  private:
-  void deliver_egress(net::Packet pkt, double latency_s);
-  void deliver_ingress(net::Packet pkt, double latency_s);
-  bool decide_drop(double probability);
+  /// A packet admitted to the prediction queue. Its features were
+  /// extracted and its drop draw consumed at admission, so the deferred
+  /// prediction reproduces the unbatched outcome exactly.
+  struct Pending {
+    net::Packet pkt;
+    sim::SimTime arrival;
+    double drop_draw = 0.0;  ///< rng().uniform(), sample_drops only
+    bool egress = false;
+    std::uint32_t dst_cluster = 0;
+  };
+
+  bool batching() const {
+    return config_.batch_max > 1 && config_.batch_window > sim::SimTime{};
+  }
+  void enqueue_packet(net::Packet pkt);
+  void process_packet(net::Packet pkt);
+  void deliver_egress(net::Packet pkt, sim::SimTime desired);
+  void deliver_ingress(net::Packet pkt, sim::SimTime desired);
+  void apply_outcome(Pending&& p,
+                     const approx::MicroModel::Prediction& prediction);
+  bool decide_drop(double probability, double draw) const;
 
   Config config_;
   approx::MicroModel ingress_model_;
@@ -120,6 +163,12 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   std::vector<tcp::Host*> hosts_;              // by offset within cluster
   std::vector<DeliverySerializer> core_ports_;  // per core
   std::vector<DeliverySerializer> host_ports_;  // per cluster host offset
+  // Batched-mode prediction queue (arrival order) plus per-direction
+  // feature rows and prediction scratch, preallocated for batch_max.
+  std::vector<Pending> pending_;
+  std::vector<double> egress_feat_, ingress_feat_;
+  std::vector<approx::MicroModel::Prediction> egress_preds_, ingress_preds_;
+  std::uint64_t batch_epoch_ = 0;  // guards the window-edge timer
   Stats stats_;
   // Aggregate approx.* series; outcome totals are published by a
   // registry flusher (pull), only the per-inference series are pushed.

@@ -38,6 +38,21 @@ PartitionedHybridNetwork build_hybrid_network_partitioned(
         "build_hybrid_network_partitioned: lookahead exceeds the model's "
         "minimum latency (egress deliveries would violate causality)");
   }
+  const bool batching =
+      config.approx.batch_max > 1 && config.approx.batch_window > sim::SimTime{};
+  if (batching &&
+      config.approx.batch_window + engine.lookahead() >
+          sim::SimTime::from_seconds_f(config.approx.min_latency_s)) {
+    // A packet admitted at t may only be predicted at flush time
+    // tf <= t + batch_window, and its egress delivery lands at
+    // >= t + min_latency_s >= tf + (min_latency_s - batch_window). That
+    // slack is the cluster partition's real send horizon, so it must
+    // cover the engine's conservative lookahead.
+    throw std::invalid_argument(
+        "build_hybrid_network_partitioned: batch_window exceeds "
+        "min_latency_s - lookahead (a coalesced packet could be held "
+        "past the PDES lookahead it was admitted under)");
+  }
   const std::uint32_t full = config.full_cluster;
   const std::uint32_t P = engine.num_partitions();
 
@@ -223,8 +238,16 @@ PartitionedHybridNetwork build_hybrid_network_partitioned(
         if (a == 0 && hosts_clusters[b]) {
           lah = config.net.fabric_link.propagation;
         } else if (b == 0 && hosts_clusters[a]) {
-          lah = std::max(sim::SimTime::from_seconds_f(config.approx.min_latency_s),
-                         engine.lookahead());
+          // Unbatched, an egress injection granted at t_d is reserved
+          // at arrival t with t_d >= t + min_latency_s. With batching
+          // the reservation is deferred to the flush at
+          // tf <= t + batch_window, shrinking the provable send horizon
+          // to min_latency_s - batch_window (validated above to still
+          // cover the engine lookahead).
+          sim::SimTime horizon =
+              sim::SimTime::from_seconds_f(config.approx.min_latency_s);
+          if (batching) horizon = horizon - config.approx.batch_window;
+          lah = std::max(horizon, engine.lookahead());
         }
         engine.set_pair_lookahead(a, b, lah);
       }

@@ -44,7 +44,7 @@ Tensor GruLayer::step(const Tensor& x, State& state,
       const double rv = sigmoid(gi.at(b, j) + gh.at(b, j));
       const double zv = sigmoid(gi.at(b, H + j) + gh.at(b, H + j));
       const double hl = gh.at(b, 2 * H + j);
-      const double nv = std::tanh(gi.at(b, 2 * H + j) + rv * hl);
+      const double nv = tanh_act(gi.at(b, 2 * H + j) + rv * hl);
       r.at(b, j) = rv;
       z.at(b, j) = zv;
       n.at(b, j) = nv;

@@ -42,10 +42,10 @@ Tensor LstmLayer::step(const Tensor& x, State& state,
     for (std::size_t j = 0; j < H; ++j) {
       const double gi = sigmoid(gates.at(r, j));
       const double gf = sigmoid(gates.at(r, H + j));
-      const double gg = std::tanh(gates.at(r, 2 * H + j));
+      const double gg = tanh_act(gates.at(r, 2 * H + j));
       const double go = sigmoid(gates.at(r, 3 * H + j));
       const double cv = gf * state.c.at(r, j) + gi * gg;
-      const double tc = std::tanh(cv);
+      const double tc = tanh_act(cv);
       i.at(r, j) = gi;
       f.at(r, j) = gf;
       g.at(r, j) = gg;

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -40,6 +41,18 @@ class Module {
   void zero_grad() {
     for (auto& p : parameters()) p.grad->zero();
   }
+
+  /// Monotonic counter over in-place weight mutations. Writers that
+  /// update this module's tensors (optimizer steps, bulk parameter
+  /// loads) call bump_weight_version(); compiled snapshots
+  /// (ml::InferenceSession) record the value they were built from and
+  /// refuse to predict once it moves — a missed recompile becomes a
+  /// loud error instead of silently serving stale weights.
+  std::uint64_t weight_version() const { return weight_version_; }
+  void bump_weight_version() { ++weight_version_; }
+
+ private:
+  std::uint64_t weight_version_ = 0;
 };
 
 }  // namespace esim::ml

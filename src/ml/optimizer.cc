@@ -16,6 +16,11 @@ SgdMomentum::SgdMomentum(std::vector<Parameter> params, const Config& config)
   }
 }
 
+SgdMomentum::SgdMomentum(Module& module, const Config& config)
+    : SgdMomentum{module.parameters(), config} {
+  module_ = &module;
+}
+
 double SgdMomentum::step() {
   double sq = 0.0;
   for (const auto& p : params_) {
@@ -39,6 +44,7 @@ double SgdMomentum::step() {
       w.data()[i] += v.data()[i];
     }
   }
+  if (module_ != nullptr) module_->bump_weight_version();
   return norm;
 }
 

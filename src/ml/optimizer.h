@@ -24,6 +24,12 @@ class SgdMomentum {
   /// Captures the parameter set (pointers must outlive the optimizer).
   SgdMomentum(std::vector<Parameter> params, const Config& config);
 
+  /// Captures `module.parameters()` and additionally bumps the module's
+  /// weight version on every step(), so compiled InferenceSessions
+  /// watching the module detect the write and refuse to serve the stale
+  /// snapshot. Trainers should prefer this overload.
+  SgdMomentum(Module& module, const Config& config);
+
   /// Applies one update from the currently accumulated gradients.
   /// Returns the (pre-clip) global gradient norm, handy for diagnostics.
   double step();
@@ -35,6 +41,7 @@ class SgdMomentum {
   std::vector<Parameter> params_;
   Config config_;
   std::vector<Tensor> velocity_;
+  Module* module_ = nullptr;  // version-bumped on step(); may be null
 };
 
 }  // namespace esim::ml

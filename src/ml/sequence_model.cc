@@ -74,7 +74,12 @@ class NetModel final : public SequenceModel {
     }
     constexpr TrunkKind kind =
         std::is_same_v<Net, Lstm> ? TrunkKind::Lstm : TrunkKind::Gru;
-    return std::make_unique<InferenceSession>(kind, weights, heads);
+    auto session = std::make_unique<InferenceSession>(kind, weights, heads);
+    // Stale-session safety net: an optimizer step through this trunk
+    // bumps its weight version, after which the snapshot refuses to
+    // predict until rebuilt.
+    session->watch_weight_source(*this);
+    return session;
   }
 
   std::vector<Parameter> parameters() override {

@@ -19,6 +19,7 @@
 #include "approx/micro_model.h"
 #include "core/experiment.h"
 #include "ml/inference.h"
+#include "ml/optimizer.h"
 #include "ml/sequence_model.h"
 #include "sim/random.h"
 
@@ -281,6 +282,175 @@ TEST(InferenceSession, ErrorPaths) {
   auto session = trunk->make_inference_session();
   EXPECT_THROW((void)session->weight_views("", {"spurious"}),
                std::invalid_argument);
+}
+
+// predict_batch (sequence mode) must replay one stream bit-identically:
+// chunking an arrival-ordered feature stream into batches of any size —
+// including chunks that leave tail rows in the packed kernels — produces
+// exactly the predictions and final recurrent state of per-packet
+// predict() calls.
+TEST(InferenceSession, PredictBatchBitIdenticalToSequential) {
+  for (const ml::TrunkKind kind : {ml::TrunkKind::Lstm, ml::TrunkKind::Gru}) {
+    // hidden = 9 leaves 4H = 36 and 3H = 27 with scalar tail rows.
+    for (const std::size_t hidden : {9UL, 16UL, 32UL}) {
+      MicroModel::Config cfg;
+      cfg.hidden = hidden;
+      cfg.layers = 2;
+      cfg.trunk = kind;
+      cfg.seed = 13 * hidden;
+      MicroModel sequential{cfg};
+      MicroModel batched{cfg};  // same seed => identical weights
+      batched.reserve_batch(17);
+
+      sim::Rng rng{cfg.seed + 1};
+      constexpr std::size_t kDim = PacketFeatures::kDim;
+      std::vector<double> stream;
+      for (int i = 0; i < 29 * static_cast<int>(kDim); ++i) {
+        stream.push_back(rng.uniform() * 2.0 - 1.0);
+      }
+
+      std::vector<MicroModel::Prediction> expect;
+      for (std::size_t t = 0; t * kDim < stream.size(); ++t) {
+        expect.push_back(sequential.predict(
+            std::span<const double>{stream.data() + t * kDim, kDim}));
+      }
+
+      // Uneven chunk sizes walk the same stream through predict_batch.
+      std::vector<MicroModel::Prediction> got(expect.size());
+      std::size_t t = 0;
+      for (const std::size_t chunk : {1UL, 3UL, 8UL, 17UL}) {
+        const std::size_t n = std::min(chunk, expect.size() - t);
+        batched.predict_batch(
+            std::span<const double>{stream.data() + t * kDim, n * kDim},
+            std::span<MicroModel::Prediction>{got.data() + t, n});
+        t += n;
+      }
+      while (t < expect.size()) {
+        batched.predict_batch(
+            std::span<const double>{stream.data() + t * kDim, kDim},
+            std::span<MicroModel::Prediction>{got.data() + t, 1});
+        ++t;
+      }
+      for (std::size_t i = 0; i < expect.size(); ++i) {
+        ASSERT_EQ(got[i].drop_probability, expect[i].drop_probability)
+            << ml::trunk_kind_name(kind) << " hidden=" << hidden << " t=" << i;
+        ASSERT_EQ(got[i].latency_seconds, expect[i].latency_seconds)
+            << ml::trunk_kind_name(kind) << " hidden=" << hidden << " t=" << i;
+      }
+    }
+  }
+}
+
+// predict_lanes must advance L independent streams exactly as L separate
+// sessions would — both matmuls batch across lanes, so this pins the
+// lane-tiled kernels (including lane-count tails) to the single-lane path.
+TEST(InferenceSession, PredictLanesBitIdenticalToIndependentSessions) {
+  for (const ml::TrunkKind kind : {ml::TrunkKind::Lstm, ml::TrunkKind::Gru}) {
+    sim::Rng init{77};
+    const auto model = ml::make_sequence_model(kind, 6, 9, 2, init);
+    for (const std::size_t lanes : {2UL, 5UL, 8UL}) {  // 5 = AVX tile tail
+      auto wide = model->make_inference_session();
+      wide->set_lane_count(lanes);
+      std::vector<std::unique_ptr<ml::InferenceSession>> singles;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        singles.push_back(model->make_inference_session());
+      }
+      sim::Rng rng{78};
+      std::vector<double> x(lanes * 6);
+      for (int t = 0; t < 12; ++t) {
+        for (auto& v : x) v = rng.uniform() * 2.0 - 1.0;
+        const auto out = wide->predict_lanes(x);
+        ASSERT_EQ(out.size(), lanes * 9);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          const auto ref = singles[l]->predict(
+              std::span<const double>{x.data() + l * 6, 6});
+          for (std::size_t j = 0; j < 9; ++j) {
+            ASSERT_EQ(out[l * 9 + j], ref[j])
+                << ml::trunk_kind_name(kind) << " lanes=" << lanes
+                << " t=" << t << " lane=" << l << " j=" << j;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The zero-per-call-allocation contract extends to batches: once
+// reserve_batch() covers the batch size, predict_batch allocates nothing
+// for any N in 1..64, and neither does the lanes path.
+TEST(InferenceSession, PredictBatchIsAllocationFree) {
+  MicroModel::Config cfg;
+  cfg.hidden = 32;
+  cfg.layers = 2;
+  MicroModel m{cfg};
+  m.reserve_batch(64);
+  constexpr std::size_t kDim = PacketFeatures::kDim;
+  sim::Rng rng{91};
+  std::vector<double> features(64 * kDim);
+  for (auto& v : features) v = rng.uniform() * 2.0 - 1.0;
+  std::vector<MicroModel::Prediction> out(64);
+  m.predict_batch(std::span<const double>{features.data(), kDim},
+                  std::span<MicroModel::Prediction>{out.data(), 1});  // warm up
+  double sink = 0.0;
+  AllocationCounter counter;
+  for (std::size_t n = 1; n <= 64; ++n) {
+    m.predict_batch(std::span<const double>{features.data(), n * kDim},
+                    std::span<MicroModel::Prediction>{out.data(), n});
+    sink += out[n - 1].latency_seconds;
+  }
+  EXPECT_EQ(counter.count(), 0u);
+  EXPECT_NE(sink, 0.0);
+
+  // Lanes mode: set_lane_count allocates once, predict_lanes never.
+  sim::Rng init{92};
+  const auto trunk = ml::make_sequence_model(ml::TrunkKind::Lstm, 6, 16, 2,
+                                             init);
+  auto session = trunk->make_inference_session();
+  session->set_lane_count(8);
+  std::vector<double> x(8 * 6, 0.25);
+  (void)session->predict_lanes(x);  // warm up
+  AllocationCounter lane_counter;
+  for (int i = 0; i < 50; ++i) sink += session->predict_lanes(x)[0];
+  EXPECT_EQ(lane_counter.count(), 0u);
+}
+
+// The stale-session safety net: optimizer steps constructed against the
+// Module bump its weight version, and every predict entry point of a
+// session compiled before the step refuses to serve the pre-training
+// snapshot. recompile() re-snapshots and clears the trip.
+TEST(InferenceSession, StaleSessionThrowsAfterOptimizerStep) {
+  MicroModel::Config cfg;
+  cfg.hidden = 8;
+  MicroModel m{cfg};
+  m.reserve_batch(4);
+  PacketFeatures probe;
+  probe.v[0] = 0.3;
+  (void)m.predict(probe);  // fresh: serves fine
+
+  ml::SgdMomentum::Config ocfg;
+  ocfg.learning_rate = 0.01;
+  ml::SgdMomentum opt{m, ocfg};
+  opt.step();  // bumps the weight version; session snapshot is now stale
+
+  EXPECT_THROW((void)m.predict(probe), std::logic_error);
+  std::vector<double> features(4 * PacketFeatures::kDim, 0.1);
+  std::vector<MicroModel::Prediction> out(4);
+  EXPECT_THROW((void)m.predict_batch(features,
+                                     std::span<MicroModel::Prediction>{out}),
+               std::logic_error);
+
+  m.recompile();
+  (void)m.predict(probe);  // fresh again
+  opt.step();
+  EXPECT_THROW((void)m.predict(probe), std::logic_error);
+
+  // The plain parameters() overload keeps legacy behavior: no module to
+  // version-tag, so sessions cannot detect those writes (recompile() is
+  // the caller's contract, as before).
+  m.recompile();
+  ml::SgdMomentum legacy{m.parameters(), ocfg};
+  legacy.step();
+  (void)m.predict(probe);
 }
 
 // The hybrid integration must not change under the refactor: routing all

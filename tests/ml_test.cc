@@ -102,6 +102,36 @@ TEST(Activations, SigmoidStableAndCorrect) {
               (std::tanh(0.7 + 1e-6) - std::tanh(0.7 - 1e-6)) / 2e-6, 1e-6);
 }
 
+// The fixed-sequence transcendentals must track libm tightly across the
+// whole argument range the gates see: they replace std::exp/std::tanh in
+// every model path, so a drift here is a silent accuracy regression in
+// the trained models, not just in inference.
+TEST(Activations, FixedSequenceKernelsMatchLibm) {
+  for (int i = -4000; i <= 4000; ++i) {
+    const double x = i * 0.01;  // [-40, 40], crosses every branch point
+    const double e_ref = std::exp(x);
+    const double e = exp_act(x);
+    EXPECT_NEAR(e, e_ref, std::abs(e_ref) * 1e-14 + 1e-300)
+        << "exp_act(" << x << ")";
+    const double t_ref = std::tanh(x);
+    EXPECT_NEAR(tanh_act(x), t_ref, 1e-14) << "tanh_act(" << x << ")";
+    const double s_ref = 1.0 / (1.0 + std::exp(-x));
+    EXPECT_NEAR(sigmoid(x), s_ref, 1e-14) << "sigmoid(" << x << ")";
+  }
+  // Saturating tails: exact values, no overflow/NaN.
+  EXPECT_EQ(exp_act(-1000.0), 0.0);
+  EXPECT_TRUE(std::isfinite(exp_act(1000.0)));
+  EXPECT_DOUBLE_EQ(tanh_act(30.0), 1.0);
+  EXPECT_DOUBLE_EQ(tanh_act(-30.0), -1.0);
+  EXPECT_DOUBLE_EQ(sigmoid(800.0), 1.0);
+  EXPECT_DOUBLE_EQ(sigmoid(-800.0), 0.0);
+  // Odd symmetry of tanh_act holds bitwise (the vector port relies on
+  // computing |x| and restoring the sign).
+  for (double x : {0.01, 0.05, 0.3, 1.7, 8.0}) {
+    EXPECT_DOUBLE_EQ(tanh_act(-x), -tanh_act(x));
+  }
+}
+
 // ---------------------------------------------------------------------
 // Gradient checking utilities.
 

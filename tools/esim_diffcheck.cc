@@ -12,6 +12,15 @@
 //   esim_diffcheck replay FILE [--partitions 1,2,4] [--inject-tiebreak-bug]
 //     Re-runs the checks on a saved (possibly shrunk) scenario file.
 //
+//   esim_diffcheck hybrid [--n N] [--seed S] [--partitions 2,3]
+//     Generates N hybrid (approx-cluster) scenarios with cross-packet
+//     batched inference active and checks each one twice: sequential
+//     batching-on vs batching-off with sampled drops (the RNG draw-order
+//     contract), then sequential vs PDES at every partition count with
+//     N>1 coalescing on both sides (threshold drops; engine-invariant
+//     digest lanes). Scenarios are pure functions of S, so a failure is
+//     reproducible from the printed seed alone.
+//
 //   esim_diffcheck selftest
 //     Proves the harness has teeth: runs a crafted tie-rich scenario with
 //     the FES tie-break deliberately inverted on one side and demands the
@@ -28,6 +37,7 @@
 
 #include "check/diff_runner.h"
 #include "check/fuzzer.h"
+#include "check/hybrid_diff.h"
 #include "check/scenario.h"
 
 namespace {
@@ -45,6 +55,7 @@ struct Args {
   int n = 25;
   std::uint64_t seed = 1;
   std::vector<std::uint32_t> partitions = {1, 2, 4};
+  bool partitions_set = false;
   std::string out_prefix = "diffcheck_repro_";
   bool inject_tiebreak_bug = false;
 };
@@ -55,6 +66,8 @@ struct Args {
          "1,2,4] [--out PREFIX] [--inject-tiebreak-bug]\n"
          "       esim_diffcheck replay FILE [--partitions 1,2,4] "
          "[--inject-tiebreak-bug]\n"
+         "       esim_diffcheck hybrid [--n N] [--seed S] "
+         "[--partitions 2,3]\n"
          "       esim_diffcheck selftest\n";
   std::exit(2);
 }
@@ -97,6 +110,7 @@ Args parse_args(int argc, char** argv) {
       a.seed = std::stoull(value());
     } else if (arg == "--partitions") {
       a.partitions = parse_partitions(value());
+      a.partitions_set = true;
     } else if (arg == "--out") {
       a.out_prefix = value();
     } else if (arg == "--inject-tiebreak-bug") {
@@ -171,6 +185,32 @@ int cmd_replay(const Args& args) {
             << "\n";
   DiffRunner runner;
   return run_checks(runner, sc, args, nullptr) ? 0 : 1;
+}
+
+int cmd_hybrid(const Args& args) {
+  // Sequential-vs-PDES needs real partitioning; 1 would only re-run the
+  // sequential config against a single-partition engine.
+  const std::vector<std::uint32_t> partitions =
+      args.partitions_set ? args.partitions : std::vector<std::uint32_t>{2, 3};
+  int failures = 0;
+  for (int k = 0; k < args.n; ++k) {
+    const std::uint64_t scenario_seed = args.seed + static_cast<std::uint64_t>(k);
+    const esim::check::HybridScenario sc =
+        esim::check::random_hybrid_scenario(scenario_seed);
+    std::cout << "[" << (k + 1) << "/" << args.n << "] seed " << scenario_seed
+              << ": " << sc.summary() << "\n";
+    const std::string diag = esim::check::check_hybrid(sc, partitions);
+    if (diag.empty()) {
+      std::cout << "  batching on/off + sequential vs pdes: EQUIVALENT\n";
+    } else {
+      ++failures;
+      std::cout << diag << "\n  reproduce with: esim_diffcheck hybrid --n 1 "
+                << "--seed " << scenario_seed << "\n";
+    }
+  }
+  std::cout << (args.n - failures) << "/" << args.n
+            << " hybrid scenarios digest-identical with batching active\n";
+  return failures == 0 ? 0 : 1;
 }
 
 /// A scenario engineered to put two packets on one switch at the same
@@ -258,6 +298,7 @@ int main(int argc, char** argv) {
   try {
     if (args.mode == "fuzz") return cmd_fuzz(args);
     if (args.mode == "replay") return cmd_replay(args);
+    if (args.mode == "hybrid") return cmd_hybrid(args);
     if (args.mode == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     std::cerr << "esim_diffcheck: " << e.what() << "\n";
