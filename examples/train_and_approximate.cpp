@@ -48,6 +48,15 @@ int main() {
   cfg.train.batch_size = 32;
   cfg.train.seq_len = 16;
   cfg.train.learning_rate = 5e-3;
+  // Hold out the chronological tail of the boundary trace for a real
+  // generalization score (AUC/MAE on unseen data, not training fit).
+  cfg.eval_holdout = 0.2;
+  // Watch the approximated clusters while the hybrid run executes:
+  // shadow-sample 1 in 16 boundary packets against the reference paths
+  // and stream per-cluster congestion/drift windows to JSONL.
+  cfg.fidelity.enabled = true;
+  cfg.fidelity.sample_period = 16;
+  cfg.fidelity.jsonl_path = "train_and_approximate_fidelity.jsonl";
 
   std::printf("== step 1+2: record boundary trace and train ==\n");
   const auto models = core::train_cluster_models(cfg);
@@ -58,6 +67,14 @@ int main() {
   std::printf("egress model       : drop-acc %.3f, latency-MAE %.3f\n",
               models.egress_report.drop_accuracy,
               models.egress_report.latency_mae);
+  if (models.has_eval) {
+    std::printf("held-out ingress   : AUC %.3f, latency-MAE %.3f (%zu rows)\n",
+                models.ingress_eval.drop_auc, models.ingress_eval.latency_mae,
+                models.ingress_eval.rows);
+    std::printf("held-out egress    : AUC %.3f, latency-MAE %.3f (%zu rows)\n",
+                models.egress_eval.drop_auc, models.egress_eval.latency_mae,
+                models.egress_eval.rows);
+  }
 
   std::printf("\n== step 3: save + reload the trained models ==\n");
   const std::string dir = "/tmp";
@@ -97,6 +114,14 @@ int main() {
     std::printf("KS distance between RTT CDFs: %.4f\n",
                 stats::ks_distance(full.rtt_cdf, hybrid.rtt_cdf));
   }
+  if (!hybrid.fidelity.is_null()) {
+    const auto* rows = hybrid.fidelity.find("rows");
+    const auto* viol = hybrid.fidelity.find("violating_clusters");
+    std::printf("fidelity observatory: %llu windows streamed, "
+                "%zu cluster(s) out of band\n",
+                static_cast<unsigned long long>(rows ? rows->as_uint() : 0),
+                viol ? viol->size() : 0);
+  }
   std::printf("speedup: %.2fx\n",
               hybrid.wall_seconds > 0
                   ? full.wall_seconds / hybrid.wall_seconds
@@ -110,6 +135,10 @@ int main() {
   report.set("train.ingress.drop_accuracy",
              models.ingress_report.drop_accuracy);
   report.set("train.egress.drop_accuracy", models.egress_report.drop_accuracy);
+  // Held-out generalization scores (training.eval.*) next to the fit
+  // numbers above; the hybrid run's fidelity section rides in through
+  // add_run_result as hybrid.fidelity.
+  core::add_training_eval(report, models);
   core::add_run_result(report, "full", full);
   core::add_run_result(report, "hybrid", hybrid);
   if (!full.rtt_cdf.empty() && !hybrid.rtt_cdf.empty()) {

@@ -14,8 +14,8 @@
 #                          default and asan-ubsan.
 #   ESIM_CHECK_COVERAGE=1  also build the coverage preset, run the unit
 #                          + integration tiers under it, and print the
-#                          src/sim + src/core line-coverage summary
-#                          (scripts/coverage_summary.sh).
+#                          src/{sim,core,telemetry,approx} line-coverage
+#                          summary (scripts/coverage_summary.sh).
 #
 # Usage: [ESIM_CHECK_FUZZ=1] [ESIM_CHECK_COVERAGE=1] scripts/check.sh [-jN]
 set -euo pipefail
@@ -64,6 +64,13 @@ echo "=== asan-ubsan — bench_inference --batch smoke ==="
 echo "=== asan-ubsan — bench_pdes_scaling smoke ==="
 (cd build-asan && ESIM_BENCH_QUICK=1 ./bench/bench_pdes_scaling)
 
+# Fidelity observatory digest-invariance under the sanitizers: shadow
+# sampling + queue-truth peeks + JSONL streaming must not perturb the
+# simulation (full digest equality, sequential and PDES) and must be
+# clean of lifetime/overflow bugs in the probe's window bookkeeping.
+echo "=== asan-ubsan — esim_diffcheck fidelity smoke ==="
+(cd build-asan && ./tools/esim_diffcheck fidelity --n 10 --seed 7 --partitions 2,4)
+
 echo "=== preset: tsan — configure ==="
 cmake --preset tsan
 echo "=== preset: tsan — build ==="
@@ -72,8 +79,10 @@ echo "=== preset: tsan — test (threaded suites) ==="
 # BatchCluster / HybridPdesBatch cover the coalesced prediction queue's
 # flush timers interleaving with the telemetry flusher and with
 # cross-partition deliveries.
+# Fidelity suites exercise the shared FidelitySink from concurrent PDES
+# partition threads (window closes append rows under the sink mutex).
 ctest --preset tsan "${jobs}" -R \
-  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner|BatchCluster'
+  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner|BatchCluster|Fidelity'
 
 if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
   echo "=== preset: coverage — configure ==="
@@ -85,7 +94,7 @@ if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
     echo "=== preset: coverage — test tier: ${tier} ==="
     ctest --preset coverage "${jobs}" -L "${tier}"
   done
-  echo "=== coverage summary (src/sim, src/core) ==="
+  echo "=== coverage summary (src/sim, src/core, src/telemetry, src/approx) ==="
   scripts/coverage_summary.sh build-coverage
 fi
 

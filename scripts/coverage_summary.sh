@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Line-coverage summary for the determinism-critical layers (src/sim and
-# src/core), computed with plain gcov from a `coverage`-preset build —
-# no gcovr/lcov dependency.
+# Line-coverage summary for the determinism-critical layers (src/sim,
+# src/core) and the observability/approximation layers they instrument
+# (src/telemetry, src/approx), computed with plain gcov from a
+# `coverage`-preset build — no gcovr/lcov dependency.
 #
 # Usage:
 #   cmake --preset coverage && cmake --build --preset coverage -j
@@ -67,7 +68,7 @@ summarize_layer() {
 }
 
 status=0
-for layer in sim core; do
+for layer in sim core telemetry approx; do
   echo "=== line coverage: src/${layer} ==="
   summarize_layer "${layer}" || status=1
 done

@@ -163,22 +163,33 @@ HybridScenario random_hybrid_scenario(std::uint64_t scenario_seed) {
 }
 
 Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
-                  bool batching) {
+                  bool batching, telemetry::FidelitySink* fidelity) {
   sc.validate();
   const approx::MicroModel ingress = sc.make_model(0);
   const approx::MicroModel egress = sc.make_model(7);
   const auto end = sim::SimTime::from_ns(sc.duration_ns);
   StateDigest digest;
 
+  core::HybridConfig cfg_h = sc.hybrid_config(batching);
+  cfg_h.approx.fidelity = fidelity;
+  const auto finalize_probes =
+      [](const std::vector<core::ApproxCluster*>& clusters) {
+        for (auto* c : clusters) {
+          if (c != nullptr) {
+            c->flush_batch();
+            c->finalize_fidelity();
+          }
+        }
+      };
+
   if (partitions == 0) {
     sim::Simulator sim{sc.seed};
-    auto net =
-        core::build_hybrid_network(sim, sc.hybrid_config(batching), ingress,
-                                   egress);
+    auto net = core::build_hybrid_network(sim, cfg_h, ingress, egress);
     digest.attach(sim);
     const std::vector<std::uint32_t> owner(sc.total_hosts(), 0);
     inject_flows(sim, sc.flows, net.hosts, owner, 0, digest);
     sim.run_until(end);
+    finalize_probes(net.clusters);
     return digest.finalize();
   }
 
@@ -187,14 +198,15 @@ Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
   cfg.lookahead = sim::SimTime::from_ns(sc.lookahead_ns);
   cfg.seed = sc.seed;
   sim::ParallelEngine engine{cfg};
-  auto out = core::build_hybrid_network_partitioned(
-      engine, sc.hybrid_config(batching), ingress, egress);
+  auto out = core::build_hybrid_network_partitioned(engine, cfg_h, ingress,
+                                                    egress);
   digest.attach(engine);
   for (std::uint32_t p = 0; p < engine.num_partitions(); ++p) {
     inject_flows(engine.partition(p).sim(), sc.flows, out.net.hosts,
                  out.partition_of_host, p, digest);
   }
   engine.run_until(end);
+  finalize_probes(out.net.clusters);
   return digest.finalize();
 }
 
@@ -233,6 +245,50 @@ std::string check_hybrid(const HybridScenario& sc,
       return os.str();
     }
   }
+  return {};
+}
+
+std::string check_fidelity(const HybridScenario& sc,
+                           const std::vector<std::uint32_t>& partitions,
+                           std::uint64_t* rows_out,
+                           std::uint64_t* shadow_out) {
+  // Sampled drops everywhere: each comparison pairs two runs of ONE
+  // engine config, so the RNG forks coincide and a divergence can only
+  // come from the observatory touching simulation state.
+  HybridScenario sampled = sc;
+  sampled.sample_drops = true;
+
+  telemetry::FidelityConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.sample_period = 16;  // dense enough that small scenarios shadow
+
+  std::uint64_t rows = 0;
+  std::uint64_t shadow = 0;
+  const auto compare = [&](std::uint32_t p,
+                           bool batching) -> std::string {
+    const Digest off = run_hybrid(sampled, p, batching);
+    telemetry::FidelitySink sink{fcfg};
+    const Digest on = run_hybrid(sampled, p, batching, &sink);
+    rows += sink.rows_appended();
+    for (const auto& s : sink.summaries()) shadow += s.shadow_samples;
+    if (off == on) return {};
+    std::ostringstream os;
+    os << (p == 0 ? std::string{"sequential"}
+                  : "pdes(" + std::to_string(p) + ")")
+       << (batching ? " batched" : " unbatched")
+       << ": fidelity off vs on DIVERGED\n"
+       << "  off: " << off.to_string() << "\n"
+       << "  on:  " << on.to_string();
+    return os.str();
+  };
+
+  if (auto err = compare(0, /*batching=*/false); !err.empty()) return err;
+  if (auto err = compare(0, /*batching=*/true); !err.empty()) return err;
+  for (const std::uint32_t p : partitions) {
+    if (auto err = compare(p, /*batching=*/true); !err.empty()) return err;
+  }
+  if (rows_out != nullptr) *rows_out += rows;
+  if (shadow_out != nullptr) *shadow_out += shadow;
   return {};
 }
 

@@ -33,6 +33,7 @@
 #include "check/digest.h"
 #include "check/scenario.h"
 #include "core/hybrid_builder.h"
+#include "telemetry/fidelity.h"
 
 namespace esim::check {
 
@@ -94,14 +95,34 @@ HybridScenario random_hybrid_scenario(std::uint64_t scenario_seed);
 
 /// Runs the scenario to its horizon and digests the run. partitions == 0
 /// selects the sequential Simulator{seed}; otherwise a ParallelEngine
-/// with that many partitions (same seed, lookahead_ns).
+/// with that many partitions (same seed, lookahead_ns). A non-null
+/// `fidelity` sink attaches the observatory to every ApproxCluster (its
+/// probes are finalized before returning); the digest-invariance
+/// contract says the returned digest is bit-identical either way.
 Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
-                  bool batching);
+                  bool batching,
+                  telemetry::FidelitySink* fidelity = nullptr);
 
 /// Runs both equivalence checks (A with sampled drops, B with threshold
 /// drops at every partition count). Returns the empty string when all
 /// digests agree, else a description of the first divergence.
 std::string check_hybrid(const HybridScenario& sc,
                          const std::vector<std::uint32_t>& partitions);
+
+/// Fidelity digest-invariance check (DESIGN.md §11): runs the scenario
+/// with the observatory off and on (sample_period 16, so boundary
+/// traffic is actually shadowed) and requires FULL digest equality —
+/// event counts, pop order, and every lane — sequentially (batched and
+/// unbatched) and on each PDES partition count. Sampled drops are used
+/// throughout: both sides of each comparison share one engine config,
+/// so their component RNG streams coincide and any divergence means the
+/// observatory perturbed the simulation. On success accumulates the
+/// fidelity rows / shadow samples the instrumented runs produced into
+/// the optional out-params and returns ""; else a description of the
+/// first divergence.
+std::string check_fidelity(const HybridScenario& sc,
+                           const std::vector<std::uint32_t>& partitions,
+                           std::uint64_t* rows_out = nullptr,
+                           std::uint64_t* shadow_out = nullptr);
 
 }  // namespace esim::check

@@ -5,6 +5,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "telemetry/fidelity.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -51,6 +52,16 @@ ApproxCluster::ApproxCluster(sim::Simulator& sim, std::string name,
                      DeliverySerializer{config_.port_bandwidth_bps});
   host_ports_.assign(config_.spec.hosts_per_cluster(),
                      DeliverySerializer{config_.port_bandwidth_bps});
+  if (config_.fidelity != nullptr && config_.fidelity->config().enabled) {
+    // Aggregate boundary capacity: one emulated line-rate port per core
+    // uplink plus one per cluster host (the utilization denominator).
+    const double capacity_bps =
+        config_.port_bandwidth_bps *
+        static_cast<double>(config_.spec.cores +
+                            config_.spec.hosts_per_cluster());
+    probe_ = std::make_unique<telemetry::ClusterFidelityProbe>(
+        *config_.fidelity, config_.cluster, capacity_bps, sim.telemetry());
+  }
   if (auto* r = sim.telemetry()) {
     m_inferences_ = r->counter("approx.inferences");
     m_macro_transitions_ = r->counter("approx.macro_transitions");
@@ -72,6 +83,8 @@ ApproxCluster::ApproxCluster(sim::Simulator& sim, std::string name,
         });
   }
 }
+
+ApproxCluster::~ApproxCluster() = default;
 
 void ApproxCluster::attach_core(std::uint32_t index,
                                 net::Switch* core_switch) {
@@ -107,6 +120,9 @@ void ApproxCluster::start() {
       telemetry::trace_instant("approx.macro_transition",
                                static_cast<std::int64_t>(macro_.state()));
     }
+    // Fidelity windows piggyback on this timer (they never schedule
+    // events of their own — the digest-invariance contract, §11).
+    if (probe_) probe_->on_macro_window(now().ns(), macro_.window().ns());
     start();
   });
 }
@@ -142,8 +158,9 @@ void ApproxCluster::process_packet(Packet pkt) {
   approx::FeatureExtractor& extractor =
       egress ? egress_features_ : ingress_features_;
 
+  const approx::PacketFeatures features =
+      extractor.extract(pkt, now(), macro_.state());
   const auto infer = [&] {
-    const auto features = extractor.extract(pkt, now(), macro_.state());
     return config_.reference_inference ? model.predict_reference(features)
                                        : model.predict(features);
   };
@@ -168,7 +185,8 @@ void ApproxCluster::process_packet(Packet pkt) {
   p.dst_cluster = dst_cluster;
   p.pkt = std::move(pkt);
   if (config_.sample_drops) p.drop_draw = rng().uniform();
-  apply_outcome(std::move(p), prediction);
+  apply_outcome(std::move(p), prediction,
+                std::span<const double>{features.v});
 }
 
 void ApproxCluster::enqueue_packet(Packet pkt) {
@@ -254,9 +272,15 @@ void ApproxCluster::flush_batch() {
   // same desired times — as the unbatched path.
   std::size_t ei = 0, ii = 0;
   for (Pending& p : pending_) {
+    std::size_t& cursor = p.egress ? ei : ii;
+    const std::vector<double>& feat = p.egress ? egress_feat_ : ingress_feat_;
+    const std::span<const double> row{
+        feat.data() + cursor * approx::PacketFeatures::kDim,
+        approx::PacketFeatures::kDim};
     const approx::MicroModel::Prediction& prediction =
-        p.egress ? egress_preds_[ei++] : ingress_preds_[ii++];
-    apply_outcome(std::move(p), prediction);
+        (p.egress ? egress_preds_ : ingress_preds_)[cursor];
+    ++cursor;
+    apply_outcome(std::move(p), prediction, row);
   }
   pending_.clear();
   egress_feat_.clear();
@@ -264,11 +288,20 @@ void ApproxCluster::flush_batch() {
 }
 
 void ApproxCluster::apply_outcome(
-    Pending&& p, const approx::MicroModel::Prediction& prediction) {
+    Pending&& p, const approx::MicroModel::Prediction& prediction,
+    std::span<const double> features) {
   const double latency =
       std::max(prediction.latency_seconds, config_.min_latency_s);
   const bool drop = decide_drop(prediction.drop_probability, p.drop_draw);
   macro_.observe(latency, drop);
+  if (probe_) {
+    probe_->observe_packet(p.pkt.size_bytes(), drop);
+    // Shadow comparison runs BEFORE the production delivery reserves the
+    // port, so the queue-truth peek sees the pre-reservation backlog.
+    if (probe_->shadow_admit(p.pkt.id)) {
+      shadow_evaluate(p, features, latency, drop);
+    }
+  }
   if (drop) {
     ++stats_.predicted_drops;
     return;  // TCP on the endpoints recovers, as with a real queue drop
@@ -292,6 +325,63 @@ void ApproxCluster::apply_outcome(
   }
 }
 
+void ApproxCluster::shadow_evaluate(const Pending& p,
+                                    std::span<const double> features,
+                                    double model_latency, bool model_drop) {
+  // Reference second opinion: whichever inference path production does
+  // NOT use. Its recurrent state is disjoint from the production path's
+  // (session vs ref_state_, DESIGN.md §6), so advancing it here is
+  // invisible to the simulation. The reference hidden state only sees
+  // the shadow-sampled feature subsequence — this is a drift *indicator*
+  // fed the same per-packet features, not a replay of a full reference
+  // run. Drop decisions reuse the packet's pre-drawn uniform (common
+  // random numbers): disagreement measures the models, not the coin.
+  approx::MicroModel& model = p.egress ? egress_model_ : ingress_model_;
+  bool have_ref = false;
+  bool ref_drop = model_drop;
+  double ref_latency = model_latency;
+  if (config_.reference_inference || model.trainable()) {
+    const approx::MicroModel::Prediction ref =
+        config_.reference_inference ? model.predict(features)
+                                    : model.predict_reference(features);
+    have_ref = true;
+    ref_latency = std::max(ref.latency_seconds, config_.min_latency_s);
+    ref_drop = decide_drop(ref.drop_probability, p.drop_draw);
+  }
+  // Queue-model ground truth: the fabric traversal a backlog-aware
+  // queue would impose right now — current wait on the destination port
+  // plus serialization, floored at the unloaded minimum. next_free() is
+  // a read-only peek; nothing is reserved.
+  const DeliverySerializer* port = nullptr;
+  if (p.egress && p.dst_cluster != config_.cluster) {
+    const auto path = net::compute_path(config_.spec, p.pkt.flow);
+    if (path.len == 5) {
+      port = &core_ports_[path.hops[2] - config_.spec.core_id(0)];
+    }
+  } else {
+    port = &host_ports_[p.pkt.flow.dst_host %
+                        config_.spec.hosts_per_cluster()];
+  }
+  bool queue_drop = false;
+  double queue_latency = config_.min_latency_s;
+  if (port != nullptr) {
+    const sim::SimTime nf = port->next_free();
+    const std::int64_t wait_ns =
+        nf > p.arrival ? (nf - p.arrival).ns() : 0;
+    queue_drop = wait_ns > config_.max_port_backlog.ns();
+    const double tx_s = static_cast<double>(p.pkt.size_bytes()) * 8.0 /
+                        config_.port_bandwidth_bps;
+    queue_latency = std::max(config_.min_latency_s,
+                             static_cast<double>(wait_ns) * 1e-9 + tx_s);
+  }
+  probe_->record_shadow(model_drop, model_latency, ref_drop, have_ref,
+                        ref_latency, queue_drop, queue_latency);
+}
+
+void ApproxCluster::finalize_fidelity() {
+  if (probe_) probe_->finalize(now().ns());
+}
+
 void ApproxCluster::deliver_egress(Packet pkt, sim::SimTime desired) {
   const auto path = net::compute_path(config_.spec, pkt.flow);
   if (path.len != 5) {
@@ -308,9 +398,14 @@ void ApproxCluster::deliver_egress(Packet pkt, sim::SimTime desired) {
       desired, pkt.size_bytes(), config_.max_port_backlog);
   if (!granted) {
     ++stats_.backlog_drops;
+    if (probe_) probe_->observe_backlog(0, /*backlog_drop=*/true);
     return;
   }
   if (*granted != desired) ++stats_.conflicts_resolved;
+  if (probe_) {
+    probe_->observe_backlog((*granted - desired).ns(),
+                            /*backlog_drop=*/false);
+  }
   auto deliver = [core, pkt = std::move(pkt)]() mutable {
     core->handle_packet(std::move(pkt));
   };
@@ -333,9 +428,14 @@ void ApproxCluster::deliver_ingress(Packet pkt, sim::SimTime desired) {
       desired, pkt.size_bytes(), config_.max_port_backlog);
   if (!granted) {
     ++stats_.backlog_drops;
+    if (probe_) probe_->observe_backlog(0, /*backlog_drop=*/true);
     return;
   }
   if (*granted != desired) ++stats_.conflicts_resolved;
+  if (probe_) {
+    probe_->observe_backlog((*granted - desired).ns(),
+                            /*backlog_drop=*/false);
+  }
   schedule_at(*granted, [host, pkt = std::move(pkt)]() mutable {
     host->handle_packet(std::move(pkt));
   });

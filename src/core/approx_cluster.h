@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "approx/features.h"
@@ -32,7 +33,9 @@
 #include "tcp/host.h"
 
 namespace esim::telemetry {
+class ClusterFidelityProbe;
 class Counter;
+class FidelitySink;
 class Histogram;
 }
 
@@ -77,6 +80,12 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
     sim::SimTime batch_window{};
     /// Macro classifier parameters.
     approx::MacroClassifier::Config macro;
+    /// Fidelity observatory sink (DESIGN.md §11), shared by every cluster
+    /// of a run; not owned. Non-null with an enabled config attaches a
+    /// ClusterFidelityProbe: shadow-sampled reference comparisons plus
+    /// windowed congestion telemetry. Pure observation — a run is
+    /// bit-identical with this set or null.
+    telemetry::FidelitySink* fidelity = nullptr;
   };
 
   /// Outcome counters, exposed for experiments and tests.
@@ -94,6 +103,7 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   ApproxCluster(sim::Simulator& sim, std::string name, const Config& config,
                 const approx::MicroModel& ingress_model,
                 const approx::MicroModel& egress_model);
+  ~ApproxCluster() override;  // out of line: probe_ is incomplete here
 
   /// Wires the core switch that egress packets choosing core `index`
   /// should be injected into. All cores must be attached before running.
@@ -127,6 +137,16 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   /// Number of packets currently coalesced in the prediction queue.
   std::size_t pending_batch() const { return pending_.size(); }
 
+  /// Closes the probe's partial fidelity window at the current virtual
+  /// time (end-of-run flush; no-op when fidelity is off or the window is
+  /// empty). Call after the final flush_batch().
+  void finalize_fidelity();
+
+  /// The attached fidelity probe; null when the observatory is off.
+  telemetry::ClusterFidelityProbe* fidelity_probe() const {
+    return probe_.get();
+  }
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -149,8 +169,16 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   void deliver_egress(net::Packet pkt, sim::SimTime desired);
   void deliver_ingress(net::Packet pkt, sim::SimTime desired);
   void apply_outcome(Pending&& p,
-                     const approx::MicroModel::Prediction& prediction);
+                     const approx::MicroModel::Prediction& prediction,
+                     std::span<const double> features);
   bool decide_drop(double probability, double draw) const;
+  /// Shadow comparison for one sampled packet: reference inference on
+  /// the path production does NOT use, plus the queue-model ground
+  /// truth peeked (read-only) from the destination port. Runs before
+  /// the production delivery reserves the port and mutates nothing the
+  /// simulation reads.
+  void shadow_evaluate(const Pending& p, std::span<const double> features,
+                       double model_latency, bool model_drop);
 
   Config config_;
   approx::MicroModel ingress_model_;
@@ -170,6 +198,8 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   std::vector<approx::MicroModel::Prediction> egress_preds_, ingress_preds_;
   std::uint64_t batch_epoch_ = 0;  // guards the window-edge timer
   Stats stats_;
+  // Fidelity observatory probe; null unless Config::fidelity is enabled.
+  std::unique_ptr<telemetry::ClusterFidelityProbe> probe_;
   // Aggregate approx.* series; outcome totals are published by a
   // registry flusher (pull), only the per-inference series are pushed.
   // Null when telemetry is off.

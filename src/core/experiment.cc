@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "approx/dataset.h"
+#include "approx/evaluation.h"
 #include "telemetry/trace.h"
 #include "workload/generator.h"
 
@@ -142,14 +143,29 @@ TrainedModels train_from_trace(const ExperimentConfig& config,
   TrainedModels out;
   out.boundary_records = trace.records.size();
 
-  const auto ingress_ds =
+  approx::Dataset ingress_ds =
       approx::build_dataset(trace.spec, trace.cluster,
                             approx::Direction::Ingress, trace.records,
                             config.macro);
-  const auto egress_ds =
+  approx::Dataset egress_ds =
       approx::build_dataset(trace.spec, trace.cluster,
                             approx::Direction::Egress, trace.records,
                             config.macro);
+
+  // Optional held-out split (chronological tail) for post-training eval.
+  const bool eval = config.eval_holdout > 0.0;
+  if (config.eval_holdout < 0.0 || config.eval_holdout >= 1.0) {
+    throw std::invalid_argument(
+        "train_from_trace: eval_holdout must be in [0, 1)");
+  }
+  approx::Dataset ingress_test, egress_test;
+  if (eval) {
+    const double train_fraction = 1.0 - config.eval_holdout;
+    std::tie(ingress_ds, ingress_test) =
+        approx::split_dataset(ingress_ds, train_fraction);
+    std::tie(egress_ds, egress_test) =
+        approx::split_dataset(egress_ds, train_fraction);
+  }
 
   approx::MicroModel::Config mcfg = config.model;
   out.ingress = std::make_unique<approx::MicroModel>(mcfg);
@@ -160,6 +176,12 @@ TrainedModels train_from_trace(const ExperimentConfig& config,
       approx::train_micro_model(*out.ingress, ingress_ds, config.train);
   out.egress_report =
       approx::train_micro_model(*out.egress, egress_ds, config.train);
+  if (eval) {
+    out.ingress_eval =
+        approx::evaluate_micro_model(*out.ingress, ingress_test);
+    out.egress_eval = approx::evaluate_micro_model(*out.egress, egress_test);
+    out.has_eval = true;
+  }
   return out;
 }
 
@@ -229,6 +251,11 @@ RunResult run_hybrid_simulation(const ExperimentConfig& config,
   hcfg.full_cluster = 0;
   hcfg.approx = config.approx;
   hcfg.approx.macro = config.macro;
+  std::unique_ptr<telemetry::FidelitySink> fidelity;
+  if (config.fidelity.enabled) {
+    fidelity = std::make_unique<telemetry::FidelitySink>(config.fidelity);
+    hcfg.approx.fidelity = fidelity.get();
+  }
   auto network =
       build_hybrid_network(sim, hcfg, *models.ingress, *models.egress);
 
@@ -281,6 +308,7 @@ RunResult run_hybrid_simulation(const ExperimentConfig& config,
     // cutoff either way — so flushing here makes the counters match the
     // unbatched run exactly instead of undercounting the final window.
     cluster->flush_batch();
+    cluster->finalize_fidelity();
     result.approx_stats.egress_packets += cluster->stats().egress_packets;
     result.approx_stats.ingress_packets += cluster->stats().ingress_packets;
     result.approx_stats.intra_packets += cluster->stats().intra_packets;
@@ -291,6 +319,7 @@ RunResult run_hybrid_simulation(const ExperimentConfig& config,
   }
   result.regions = collect_regions(network);
   if (config.telemetry) result.metrics = registry.snapshot();
+  if (fidelity) result.fidelity = fidelity->report_section();
   return result;
 }
 

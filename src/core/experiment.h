@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "approx/evaluation.h"
 #include "approx/micro_model.h"
 #include "approx/trace.h"
 #include "approx/trainer.h"
@@ -18,6 +19,7 @@
 #include "core/hybrid_builder.h"
 #include "stats/cdf.h"
 #include "stats/collectors.h"
+#include "telemetry/fidelity.h"
 #include "telemetry/metrics.h"
 
 namespace esim::core {
@@ -59,6 +61,13 @@ struct ExperimentConfig {
   /// never touches simulation state), but the groundtruth timing runs
   /// should not pay even the counter updates.
   bool telemetry = false;
+  /// Fidelity observatory for the hybrid run (DESIGN.md §11). Disabled
+  /// by default; enabling it is digest-invariant.
+  telemetry::FidelityConfig fidelity;
+  /// Fraction of the boundary dataset held out (chronologically, the
+  /// tail) for post-training evaluation. 0 (default) trains on the full
+  /// dataset and skips evaluation — existing pipelines are unchanged.
+  double eval_holdout = 0.0;
 };
 
 /// The trained pair of boundary models plus training diagnostics.
@@ -68,6 +77,10 @@ struct TrainedModels {
   approx::TrainReport ingress_report;
   approx::TrainReport egress_report;
   std::size_t boundary_records = 0;
+  /// Held-out metrics; populated when ExperimentConfig::eval_holdout > 0.
+  approx::EvalMetrics ingress_eval;
+  approx::EvalMetrics egress_eval;
+  bool has_eval = false;
 };
 
 /// Collects the boundary links of `cluster` from a full build, for trace
@@ -121,6 +134,9 @@ struct RunResult {
   RegionCounters regions;
   /// Registry snapshot; empty unless ExperimentConfig::telemetry.
   telemetry::Snapshot metrics;
+  /// Fidelity report section (FidelitySink::report_section); null unless
+  /// ExperimentConfig::fidelity.enabled on a hybrid run.
+  telemetry::Json fidelity;
 };
 
 /// Step 4a: the groundtruth run of `spec` at full fidelity.

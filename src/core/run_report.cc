@@ -59,6 +59,39 @@ void add_run_result(telemetry::RunReport& report, std::string_view section,
   if (!result.metrics.instruments.empty()) {
     report.add_metrics(result.metrics, s + ".metrics");
   }
+
+  if (!result.fidelity.is_null()) {
+    report.set(s + ".fidelity", result.fidelity);
+  }
+}
+
+namespace {
+
+telemetry::Json eval_json(const approx::EvalMetrics& m) {
+  telemetry::Json out = telemetry::Json::object();
+  out["rows"] = static_cast<std::uint64_t>(m.rows);
+  out["drop_auc"] = m.drop_auc;
+  out["drop_accuracy"] = m.drop_accuracy;
+  out["drop_precision"] = m.drop_precision;
+  out["drop_recall"] = m.drop_recall;
+  out["base_drop_rate"] = m.base_drop_rate;
+  out["latency_mae"] = m.latency_mae;
+  out["latency_bias"] = m.latency_bias;
+  out["latency_p90_abs_error"] = m.latency_p90_abs_error;
+  return out;
+}
+
+}  // namespace
+
+void add_training_eval(telemetry::RunReport& report,
+                       const TrainedModels& models,
+                       std::string_view section) {
+  const std::string s{section};
+  report.set(s + ".boundary_records",
+             static_cast<std::uint64_t>(models.boundary_records));
+  if (!models.has_eval) return;
+  report.set(s + ".eval.ingress", eval_json(models.ingress_eval));
+  report.set(s + ".eval.egress", eval_json(models.egress_eval));
 }
 
 void add_experiment_config(telemetry::RunReport& report,

@@ -19,6 +19,15 @@ namespace esim::core {
 void add_run_result(telemetry::RunReport& report, std::string_view section,
                     const RunResult& result);
 
+/// Writes training diagnostics under `section`: the boundary record
+/// count always, and — when ExperimentConfig::eval_holdout produced one —
+/// the held-out metrics of both direction models as
+/// `<section>.eval.{ingress,egress}` objects (AUC, precision/recall,
+/// latency MAE/bias in normalized log space).
+void add_training_eval(telemetry::RunReport& report,
+                       const TrainedModels& models,
+                       std::string_view section = "training");
+
 /// Writes the workload/topology parameters under `section` (default
 /// "config") so a report is self-describing.
 void add_experiment_config(telemetry::RunReport& report,

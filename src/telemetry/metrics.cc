@@ -1,8 +1,33 @@
 #include "telemetry/metrics.h"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace esim::telemetry {
+
+double InstrumentSnapshot::quantile(double q) const {
+  if (kind != Kind::Histogram || count == 0 || buckets.empty()) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Continuous rank in [0, count]; the running cumulative count walks the
+  // non-empty buckets in ascending order.
+  const double rank = q * static_cast<double>(count);
+  double cum = 0.0;
+  for (const auto& [lo, n] : buckets) {
+    const double next = cum + static_cast<double>(n);
+    if (rank <= next) {
+      if (lo == 0) return 0.0;  // bucket 0 holds exactly the value 0
+      // Fraction of the way through this bucket's samples, mapped onto
+      // the exponent: bucket [lo, 2*lo) -> lo * 2^f.
+      const double f =
+          n == 0 ? 0.0 : (rank - cum) / static_cast<double>(n);
+      return static_cast<double>(lo) * std::exp2(f);
+    }
+    cum = next;
+  }
+  // rank == count landed past the last bucket: its exclusive upper bound.
+  const auto& [lo, n] = buckets.back();
+  return lo == 0 ? 0.0 : static_cast<double>(lo) * 2.0;
+}
 
 const InstrumentSnapshot* Snapshot::find(std::string_view name) const {
   for (const auto& i : instruments) {
@@ -25,6 +50,9 @@ Json Snapshot::to_json() const {
         Json h = Json::object();
         h["count"] = i.count;
         h["sum"] = i.sum;
+        h["p50"] = i.quantile(0.50);
+        h["p90"] = i.quantile(0.90);
+        h["p99"] = i.quantile(0.99);
         Json buckets = Json::array();
         for (const auto& [lo, n] : i.buckets) {
           Json pair = Json::array();

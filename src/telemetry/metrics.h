@@ -116,6 +116,14 @@ struct InstrumentSnapshot {
   std::uint64_t sum = 0;       ///< Histogram sample sum
   /// Non-empty histogram buckets as (inclusive lower bound, count).
   std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+
+  /// Histogram quantile estimate for q in [0, 1]: locates the bucket
+  /// holding the q-th sample and interpolates log-linearly inside it
+  /// (each bucket spans one power of two, so position-within-bucket maps
+  /// linearly onto the exponent). Exact for bucket 0 (the value 0);
+  /// elsewhere accurate to within the bucket's 2x span. Returns 0 when
+  /// the histogram is empty or the snapshot is not a histogram.
+  double quantile(double q) const;
 };
 
 /// Registry state at one instant, detached from the live instruments.
@@ -126,7 +134,8 @@ struct Snapshot {
   const InstrumentSnapshot* find(std::string_view name) const;
 
   /// JSON object keyed by instrument name: counters/gauges as numbers,
-  /// histograms as {count, sum, buckets: [[lower_bound, count], ...]}.
+  /// histograms as {count, sum, p50, p90, p99,
+  /// buckets: [[lower_bound, count], ...]}.
   Json to_json() const;
 };
 

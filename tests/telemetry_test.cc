@@ -61,6 +61,68 @@ TEST(Histogram, RecordAccumulatesCountSumAndBuckets) {
   EXPECT_EQ(h.bucket_count(Histogram::bucket_of(1000)), 1u);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  telemetry::Registry r;
+  Histogram* h = r.histogram("h");
+  // Empty histogram: every quantile is 0.
+  EXPECT_EQ(r.snapshot().find("h")->quantile(0.5), 0.0);
+
+  // All samples in bucket 0 (the exact value 0).
+  for (int i = 0; i < 10; ++i) h->record(0);
+  EXPECT_EQ(r.snapshot().find("h")->quantile(0.99), 0.0);
+
+  // Two equally sized buckets: [4,8) then [64,128). The median falls on
+  // the boundary between them, p25 inside the first, p75 inside the
+  // second — log-linear interpolation keeps each inside its bucket span.
+  telemetry::Registry r2;
+  Histogram* h2 = r2.histogram("h2");
+  for (int i = 0; i < 100; ++i) h2->record(5);
+  for (int i = 0; i < 100; ++i) h2->record(100);
+  const telemetry::Snapshot snap2 = r2.snapshot();
+  const InstrumentSnapshot* s = snap2.find("h2");
+  const double p25 = s->quantile(0.25);
+  EXPECT_GE(p25, 4.0);
+  EXPECT_LT(p25, 8.0);
+  const double p75 = s->quantile(0.75);
+  EXPECT_GE(p75, 64.0);
+  EXPECT_LT(p75, 128.0);
+  // q=1 lands on the last bucket's exclusive upper bound.
+  EXPECT_EQ(s->quantile(1.0), 128.0);
+  // Out-of-range q clamps instead of reading past the buckets.
+  EXPECT_EQ(s->quantile(1.5), 128.0);
+  EXPECT_GE(s->quantile(-0.5), 0.0);
+
+  // A single-bucket histogram interpolates monotonically across it.
+  telemetry::Registry r3;
+  Histogram* h3 = r3.histogram("h3");
+  for (int i = 0; i < 1000; ++i) h3->record(16);
+  const telemetry::Snapshot snap3 = r3.snapshot();
+  const InstrumentSnapshot* s3 = snap3.find("h3");
+  EXPECT_LE(s3->quantile(0.1), s3->quantile(0.5));
+  EXPECT_LE(s3->quantile(0.5), s3->quantile(0.9));
+  EXPECT_GE(s3->quantile(0.1), 16.0);
+  EXPECT_LT(s3->quantile(0.9), 32.0);
+}
+
+TEST(Histogram, SnapshotJsonCarriesQuantiles) {
+  telemetry::Registry r;
+  Histogram* h = r.histogram("lat");
+  for (int i = 0; i < 90; ++i) h->record(10);
+  for (int i = 0; i < 10; ++i) h->record(1000);
+  const Json doc = r.snapshot().to_json();
+  const Json* j = doc.find("lat");
+  ASSERT_NE(j, nullptr);
+  const double p50 = j->find("p50")->as_double();
+  const double p90 = j->find("p90")->as_double();
+  const double p99 = j->find("p99")->as_double();
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LT(p50, 16.0);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LT(p99, 2048.0);
+}
+
 TEST(Counter, WrapsModulo64Bits) {
   telemetry::Counter c;
   c.set(std::numeric_limits<std::uint64_t>::max());
@@ -225,6 +287,65 @@ TEST(Trace, ChromeJsonIsValidOrderedAndLabelled) {
   const auto reparsed = Json::parse(text);
   ASSERT_TRUE(reparsed.has_value());
   EXPECT_EQ(reparsed->find("traceEvents")->size(), events->size());
+}
+
+TEST(Trace, RingOverflowAtSixteenPartitionsKeepsNewestAndCounts) {
+  // 16 emitter threads (the partition count the scaling bench targets),
+  // each pushing far more events than its ring holds. Overflow must (a)
+  // be counted exactly, (b) retain only the newest `events_per_thread`
+  // per thread, and (c) still serialize to a well-formed ordered trace.
+  constexpr std::size_t kRing = 64;
+  constexpr std::size_t kThreads = 16;
+  constexpr std::size_t kPerThread = 1000;
+  telemetry::TraceSession::Config cfg;
+  cfg.events_per_thread = kRing;
+  telemetry::TraceSession session{cfg};
+  session.start();
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&session, t] {
+      session.set_thread_name("partition " + std::to_string(t));
+      for (std::size_t k = 0; k < kPerThread; ++k) {
+        session.instant("evt", static_cast<std::int64_t>(k));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  session.stop();
+
+  EXPECT_EQ(session.overwritten(), kThreads * (kPerThread - kRing));
+
+  const Json doc = session.chrome_trace();
+  const Json* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // kRing retained events per thread plus one thread_name metadata
+  // record per named thread.
+  EXPECT_EQ(events->size(), kThreads * kRing + kThreads);
+  std::size_t instants = 0;
+  double last_ts = std::numeric_limits<double>::lowest();
+  std::vector<std::int64_t> min_arg(kThreads + 1,
+                                    std::numeric_limits<std::int64_t>::max());
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    if (e.find("ph")->as_string() == "M") continue;
+    ++instants;
+    const double ts = e.find("ts")->as_double();
+    EXPECT_GE(ts, last_ts);  // sorted by timestamp
+    last_ts = ts;
+    const auto tid = static_cast<std::size_t>(e.find("tid")->as_int());
+    ASSERT_LT(tid, min_arg.size());
+    const Json* args = e.find("args");
+    ASSERT_NE(args, nullptr);
+    min_arg[tid] = std::min(min_arg[tid], args->find("v")->as_int());
+  }
+  EXPECT_EQ(instants, kThreads * kRing);
+  // Oldest events were overwritten: every retained arg is from the tail
+  // of its thread's sequence.
+  for (std::size_t t = 0; t < min_arg.size(); ++t) {
+    if (min_arg[t] == std::numeric_limits<std::int64_t>::max()) continue;
+    EXPECT_EQ(min_arg[t], static_cast<std::int64_t>(kPerThread - kRing));
+  }
 }
 
 TEST(Trace, InactiveSessionCostsNothingAndRecordsNothing) {

@@ -21,6 +21,16 @@
 //     digest lanes). Scenarios are pure functions of S, so a failure is
 //     reproducible from the printed seed alone.
 //
+//   esim_diffcheck fidelity [--n N] [--seed S] [--partitions 2,4]
+//     Generates N hybrid scenarios and checks, for each, that enabling
+//     the fidelity observatory (shadow sampling at 1/16 + congestion
+//     telemetry) leaves the FULL digest — event counts, pop order, every
+//     lane — bit-identical to the same run with it off: sequentially
+//     (batched and unbatched) and at every PDES partition count, sampled
+//     drops throughout. Also requires that the instrumented runs did
+//     real work (shadow samples > 0 overall), so a silently-disabled
+//     probe cannot pass.
+//
 //   esim_diffcheck selftest
 //     Proves the harness has teeth: runs a crafted tie-rich scenario with
 //     the FES tie-break deliberately inverted on one side and demands the
@@ -68,6 +78,8 @@ struct Args {
          "[--inject-tiebreak-bug]\n"
          "       esim_diffcheck hybrid [--n N] [--seed S] "
          "[--partitions 2,3]\n"
+         "       esim_diffcheck fidelity [--n N] [--seed S] "
+         "[--partitions 2,4]\n"
          "       esim_diffcheck selftest\n";
   std::exit(2);
 }
@@ -213,6 +225,40 @@ int cmd_hybrid(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_fidelity(const Args& args) {
+  const std::vector<std::uint32_t> partitions =
+      args.partitions_set ? args.partitions : std::vector<std::uint32_t>{2, 4};
+  int failures = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t shadow = 0;
+  for (int k = 0; k < args.n; ++k) {
+    const std::uint64_t scenario_seed =
+        args.seed + static_cast<std::uint64_t>(k);
+    const esim::check::HybridScenario sc =
+        esim::check::random_hybrid_scenario(scenario_seed);
+    std::cout << "[" << (k + 1) << "/" << args.n << "] seed " << scenario_seed
+              << ": " << sc.summary() << "\n";
+    const std::string diag =
+        esim::check::check_fidelity(sc, partitions, &rows, &shadow);
+    if (diag.empty()) {
+      std::cout << "  fidelity off vs on: DIGEST-IDENTICAL\n";
+    } else {
+      ++failures;
+      std::cout << diag << "\n  reproduce with: esim_diffcheck fidelity "
+                << "--n 1 --seed " << scenario_seed << "\n";
+    }
+  }
+  std::cout << (args.n - failures) << "/" << args.n
+            << " scenarios digest-identical with fidelity on (" << shadow
+            << " shadow samples, " << rows << " time-series rows)\n";
+  if (failures == 0 && shadow == 0) {
+    std::cerr << "esim_diffcheck: fidelity check produced ZERO shadow "
+                 "samples — the observatory never engaged\n";
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 /// A scenario engineered to put two packets on one switch at the same
 /// instant: two equal flows from the two hosts of ToR 0, started at the
 /// same nanosecond, both targeting host 0 of ToR 1. Their SYNs traverse
@@ -299,6 +345,7 @@ int main(int argc, char** argv) {
     if (args.mode == "fuzz") return cmd_fuzz(args);
     if (args.mode == "replay") return cmd_replay(args);
     if (args.mode == "hybrid") return cmd_hybrid(args);
+    if (args.mode == "fidelity") return cmd_fidelity(args);
     if (args.mode == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     std::cerr << "esim_diffcheck: " << e.what() << "\n";
