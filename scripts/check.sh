@@ -14,8 +14,9 @@
 #                          default and asan-ubsan.
 #   ESIM_CHECK_COVERAGE=1  also build the coverage preset, run the unit
 #                          + integration tiers under it, and print the
-#                          src/{sim,core,telemetry,approx} line-coverage
-#                          summary (scripts/coverage_summary.sh).
+#                          src/{sim,core,telemetry,approx,flowsim}
+#                          line-coverage summary
+#                          (scripts/coverage_summary.sh).
 #
 # Usage: [ESIM_CHECK_FUZZ=1] [ESIM_CHECK_COVERAGE=1] scripts/check.sh [-jN]
 set -euo pipefail
@@ -71,6 +72,19 @@ echo "=== asan-ubsan — bench_pdes_scaling smoke ==="
 echo "=== asan-ubsan — esim_diffcheck fidelity smoke ==="
 (cd build-asan && ./tools/esim_diffcheck fidelity --n 10 --seed 7 --partitions 2,4)
 
+# Adaptive tier switching under the sanitizers: the controller's
+# drain-before-switch, the fluid backend's pending-mutation buffering,
+# and the tier-trace digest lane must agree across engines with no
+# lifetime/overflow bugs in the backend swap.
+echo "=== asan-ubsan — esim_diffcheck granularity smoke ==="
+(cd build-asan && ./tools/esim_diffcheck granularity --n 10 --seed 1 --partitions 2,4)
+
+# Granularity bench smoke: trains tiny boundary models, runs the
+# all-packet reference plus fixed/adaptive tier variants and the
+# quiescent corpus — the fluid backend's full lifecycle under ASan.
+echo "=== asan-ubsan — bench_granularity smoke ==="
+(cd build-asan && ESIM_BENCH_QUICK=1 ./bench/bench_granularity)
+
 echo "=== preset: tsan — configure ==="
 cmake --preset tsan
 echo "=== preset: tsan — build ==="
@@ -81,8 +95,10 @@ echo "=== preset: tsan — test (threaded suites) ==="
 # cross-partition deliveries.
 # Fidelity suites exercise the shared FidelitySink from concurrent PDES
 # partition threads (window closes append rows under the sink mutex).
+# Granularity / FluidCluster cover adaptive tier switches and the fluid
+# backend's deferred mutations racing cross-partition deliveries.
 ctest --preset tsan "${jobs}" -R \
-  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner|BatchCluster|Fidelity'
+  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner|BatchCluster|Fidelity|Granularity|FluidCluster'
 
 if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
   echo "=== preset: coverage — configure ==="
@@ -94,7 +110,7 @@ if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
     echo "=== preset: coverage — test tier: ${tier} ==="
     ctest --preset coverage "${jobs}" -L "${tier}"
   done
-  echo "=== coverage summary (src/sim, src/core, src/telemetry, src/approx) ==="
+  echo "=== coverage summary (src/sim, src/core, src/telemetry, src/approx, src/flowsim) ==="
   scripts/coverage_summary.sh build-coverage
 fi
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Line-coverage summary for the determinism-critical layers (src/sim,
-# src/core) and the observability/approximation layers they instrument
-# (src/telemetry, src/approx), computed with plain gcov from a
-# `coverage`-preset build — no gcovr/lcov dependency.
+# src/core), the observability/approximation layers they instrument
+# (src/telemetry, src/approx), and the fluid-tier rate model
+# (src/flowsim), computed with plain gcov from a `coverage`-preset
+# build — no gcovr/lcov dependency.
 #
 # Usage:
 #   cmake --preset coverage && cmake --build --preset coverage -j
@@ -68,7 +69,7 @@ summarize_layer() {
 }
 
 status=0
-for layer in sim core telemetry approx; do
+for layer in sim core telemetry approx flowsim; do
   echo "=== line coverage: src/${layer} ==="
   summarize_layer "${layer}" || status=1
 done

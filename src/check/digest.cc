@@ -44,9 +44,10 @@ PacketRecord make_record(const net::Packet& pkt, std::int64_t time_ns,
 std::string Digest::to_string() const {
   std::ostringstream os;
   os << std::hex << "order=" << order_lane << " packet=" << packet_lane
-     << " flow=" << flow_lane << " final=" << final_lane << std::dec
-     << " (events=" << events << " packets=" << packets << " drops=" << drops
-     << " flows=" << flows << ")";
+     << " flow=" << flow_lane << " final=" << final_lane
+     << " tier=" << tier_lane << std::dec << " (events=" << events
+     << " packets=" << packets << " drops=" << drops << " flows=" << flows
+     << " transitions=" << transitions << ")";
   return os.str();
 }
 
@@ -147,6 +148,15 @@ void StateDigest::on_flow_complete(std::uint64_t flow_id, std::uint32_t src,
   flows_.fetch_add(1, std::memory_order_relaxed);
 }
 
+void StateDigest::on_tier_transition(std::uint32_t cluster,
+                                     std::int64_t t_ns, std::uint8_t from,
+                                     std::uint8_t to) {
+  Hash64& chain = tier_chains_[cluster];
+  chain.absorb(static_cast<std::uint64_t>(t_ns));
+  chain.absorb((static_cast<std::uint64_t>(from) << 8) | to);
+  ++transitions_;
+}
+
 Digest StateDigest::finalize() const {
   Digest d;
 
@@ -176,6 +186,17 @@ Digest StateDigest::finalize() const {
 
   d.flow_lane = flow_lane_.load(std::memory_order_relaxed);
   d.flows = flows_.load(std::memory_order_relaxed);
+
+  // Tier lane: commutative across clusters (chains are order-sensitive
+  // within one cluster), keyed by cluster index so partition placement
+  // cannot matter.
+  for (const auto& [cluster, chain] : tier_chains_) {
+    Hash64 h;
+    h.absorb(cluster);
+    h.absorb(chain.value());
+    d.tier_lane += h.value();
+  }
+  d.transitions = transitions_;
 
   // Final lane: every component's counters and residual queue state, in
   // canonical name order across all attached simulators.

@@ -73,10 +73,18 @@ struct Digest {
   std::uint64_t packet_lane = 0;
   std::uint64_t flow_lane = 0;
   std::uint64_t final_lane = 0;
+  /// Tier-transition lane: per-cluster order-sensitive chains over the
+  /// GranularityController's executed transitions (virtual time, from,
+  /// to), combined commutatively keyed by cluster. Engine-INVARIANT:
+  /// transitions fire at macro-window boundaries inside one partition,
+  /// from inputs the other invariant lanes already pin down. Zero when
+  /// no adaptive controller ran.
+  std::uint64_t tier_lane = 0;
   std::uint64_t events = 0;
   std::uint64_t packets = 0;
   std::uint64_t drops = 0;
   std::uint64_t flows = 0;
+  std::uint64_t transitions = 0;  ///< tier transitions folded in
 
   /// Full bitwise equality — meaningful only between runs of the same
   /// engine configuration (same kind, same partition count).
@@ -89,8 +97,9 @@ struct Digest {
   /// behavioural lanes and packet/flow totals participate.
   bool engine_invariant_equal(const Digest& o) const {
     return packet_lane == o.packet_lane && flow_lane == o.flow_lane &&
-           final_lane == o.final_lane && packets == o.packets &&
-           drops == o.drops && flows == o.flows;
+           final_lane == o.final_lane && tier_lane == o.tier_lane &&
+           packets == o.packets && drops == o.drops && flows == o.flows &&
+           transitions == o.transitions;
   }
 
   /// "order=… packet=… flow=… final=… (events=… packets=… drops=… flows=…)"
@@ -152,6 +161,14 @@ class StateDigest {
                         std::uint32_t dst, std::uint64_t bytes,
                         sim::SimTime start, sim::SimTime end);
 
+  /// Absorbs one executed tier transition of cluster `cluster` into the
+  /// tier lane (chain per cluster, order-sensitive within the cluster).
+  /// Call in each cluster's virtual-time order — the natural order of
+  /// ApproxCluster::tier_trace(), folded in after the run stops. NOT
+  /// thread-safe (post-run single-threaded fold).
+  void on_tier_transition(std::uint32_t cluster, std::int64_t t_ns,
+                          std::uint8_t from, std::uint8_t to);
+
   /// Reduces everything observed to a Digest. Walks the attached
   /// simulators' components in canonical (name-sorted) order for the
   /// final lane, so the result is independent of partition placement.
@@ -197,6 +214,8 @@ class StateDigest {
   std::vector<sim::Simulator*> sims_;
   std::vector<std::unique_ptr<EventLane>> lanes_;
   std::vector<std::unique_ptr<LinkProbe>> probes_;
+  std::map<std::uint32_t, Hash64> tier_chains_;  // keyed by cluster
+  std::uint64_t transitions_ = 0;
   bool capture_ = false;
   std::size_t max_records_ = 0;
   std::atomic<std::size_t> captured_total_{0};

@@ -1,6 +1,8 @@
 #include "check/hybrid_diff.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <fstream>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -49,13 +51,36 @@ core::HybridConfig HybridScenario::hybrid_config(bool batching) const {
     cfg.approx.batch_max = batch_max;
     cfg.approx.batch_window = sim::SimTime::from_ns(batch_window_ns);
   }
+  if (adaptive_tiers) {
+    cfg.approx.tier.mode = core::ClusterTierPolicy::Mode::Adaptive;
+    cfg.approx.tier.fixed_tier = core::ClusterTier::Ml;  // initial tier
+    cfg.approx.tier.min_dwell_windows = min_dwell_windows;
+  } else {
+    cfg.approx.tier.fixed_tier = fixed_tier;
+  }
   return cfg;
+}
+
+/// FidelityConfig for the internal sink run_hybrid attaches when a
+/// scenario demands adaptive tiers but the caller brought no sink:
+/// congestion tracking only (no shadow sampling, no JSONL) with the
+/// scenario's classification thresholds.
+static telemetry::FidelityConfig granularity_fidelity_config(
+    const HybridScenario& sc) {
+  telemetry::FidelityConfig fcfg;
+  fcfg.enabled = true;
+  fcfg.sample_period = 0;  // keep congestion tracking, skip shadow cost
+  fcfg.quiescent_util = sc.quiescent_util;
+  fcfg.congested_util = sc.congested_util;
+  fcfg.congested_drop_rate = sc.congested_drop_rate;
+  fcfg.ewma_alpha = sc.classify_ewma_alpha;
+  return fcfg;
 }
 
 approx::MicroModel HybridScenario::make_model(std::uint64_t seed_offset) const {
   approx::MicroModel::Config mcfg;
-  mcfg.hidden = 8;
-  mcfg.layers = 1;
+  mcfg.hidden = model_hidden;
+  mcfg.layers = model_layers;
   mcfg.seed = model_seed + seed_offset;
   approx::MicroModel m{mcfg};
   // Seeded random trunk/head weights give feature-dependent predictions;
@@ -162,22 +187,132 @@ HybridScenario random_hybrid_scenario(std::uint64_t scenario_seed) {
   return sc;
 }
 
+HybridScenario random_granularity_scenario(std::uint64_t scenario_seed) {
+  sim::Rng rng{scenario_seed * 2 + 1};
+  HybridScenario sc;
+  sc.seed = scenario_seed + 17;
+  sc.clusters = 3 + static_cast<std::uint32_t>(rng.uniform_int(2));
+  sc.cores = 2;
+  sc.model_seed = rng.uniform_int(1'000) + 1;
+  sc.drop_bias = -3.0 + rng.uniform() * 1.0;
+  sc.latency_mean_us = 5.0 + rng.uniform() * 3.0;
+  sc.latency_std = 0.2 + rng.uniform() * 0.2;
+  sc.min_latency_us = 4.0 + rng.uniform() * 2.0;
+  sc.max_port_backlog_us = 25.0 + rng.uniform() * 15.0;
+  sc.lookahead_ns = 1'000;
+  sc.batch_max = 8;
+  sc.batch_window_ns =
+      1'500 + static_cast<std::int64_t>(rng.uniform_int(1'000));
+
+  sc.adaptive_tiers = true;
+  sc.min_dwell_windows = 2 + static_cast<std::uint32_t>(rng.uniform_int(2));
+  // Classification thresholds sized to this corpus: the aggregate
+  // boundary capacity of a cluster here is ~100 Gbps while a handful of
+  // ramping TCP flows offer a few hundred Mbps per 100 us window, so the
+  // FidelityConfig defaults (2% / 50%) would classify everything as
+  // quiescent forever. A fast EWMA makes the silence demote and the
+  // burst promote within a few windows.
+  sc.quiescent_util = 1e-4;
+  sc.congested_util = 1.5e-3 + rng.uniform() * 1.5e-3;
+  sc.congested_drop_rate = 0.5;  // classification is utilization-driven
+  sc.classify_ewma_alpha = 0.6;
+  sc.duration_ns =
+      4'000'000 + static_cast<std::int64_t>(rng.uniform_int(1'000'000));
+
+  // Quiescent-heavy shape: sparse early cross-cluster flows, a long
+  // silence (the demotion trigger), one incast burst into an
+  // approximated cluster (the promotion trigger), then a quiet tail.
+  const std::uint32_t hosts = sc.total_hosts();
+  const std::uint32_t hosts_per_cluster =
+      sc.tors_per_cluster * sc.hosts_per_tor;
+  std::uint64_t flow_id = 1;
+  std::int64_t t = 10'000;
+  const std::uint64_t early = 3 + rng.uniform_int(4);
+  for (std::uint64_t k = 0; k < early; ++k) {
+    FlowSpec f;
+    f.src = static_cast<net::HostId>(rng.uniform_int(hosts));
+    do {
+      f.dst = static_cast<net::HostId>(rng.uniform_int(hosts));
+    } while (f.dst == f.src);
+    f.bytes = (6 + rng.uniform_int(16)) * 1'400;
+    f.start_ns = t;
+    t += 60'000 + static_cast<std::int64_t>(rng.uniform_int(50'000));
+    f.flow_id = flow_id++;
+    sc.flows.push_back(f);
+  }
+  // Silence, then the burst: fan-in to hosts of one approximated
+  // cluster (index >= 1; cluster 0 stays full-fidelity).
+  const std::uint32_t target =
+      1 + static_cast<std::uint32_t>(rng.uniform_int(sc.clusters - 1));
+  std::int64_t burst_t = std::max<std::int64_t>(
+      t + 400'000, 2'400'000 + static_cast<std::int64_t>(
+                                   rng.uniform_int(200'000)));
+  const std::uint64_t burst = 8 + rng.uniform_int(7);
+  for (std::uint64_t k = 0; k < burst; ++k) {
+    FlowSpec f;
+    f.dst = static_cast<net::HostId>(target * hosts_per_cluster +
+                                     rng.uniform_int(hosts_per_cluster));
+    do {
+      f.src = static_cast<net::HostId>(rng.uniform_int(hosts));
+    } while (f.src == f.dst);
+    f.bytes = (20 + rng.uniform_int(30)) * 1'400;
+    f.start_ns = burst_t;
+    burst_t += 2'000 + static_cast<std::int64_t>(rng.uniform_int(1'500));
+    f.flow_id = flow_id++;
+    sc.flows.push_back(f);
+  }
+  sc.validate();
+  return sc;
+}
+
 Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
-                  bool batching, telemetry::FidelitySink* fidelity) {
+                  bool batching, telemetry::FidelitySink* fidelity,
+                  TierTraces* traces) {
   sc.validate();
   const approx::MicroModel ingress = sc.make_model(0);
   const approx::MicroModel egress = sc.make_model(7);
   const auto end = sim::SimTime::from_ns(sc.duration_ns);
   StateDigest digest;
+  // Divergence localization hook: ESIM_CAPTURE=<file> dumps every
+  // per-link packet record after the run (set it around two run_hybrid
+  // calls and diff the files to find the first divergent record).
+  const char* cap_file = std::getenv("ESIM_CAPTURE");
+  if (cap_file != nullptr) digest.enable_capture();
+  const auto dump_capture = [&] {
+    if (cap_file == nullptr) return;
+    std::ofstream out{cap_file};
+    for (const auto& [link, recs] : digest.captured()) {
+      for (const auto& r : recs) out << link << " | " << r.to_string() << "\n";
+    }
+  };
+
+  // The adaptive controller needs its congestion signal: attach an
+  // internal tracking-only sink when the caller brought none.
+  std::unique_ptr<telemetry::FidelitySink> internal_sink;
+  if (sc.adaptive_tiers && fidelity == nullptr) {
+    internal_sink = std::make_unique<telemetry::FidelitySink>(
+        granularity_fidelity_config(sc));
+    fidelity = internal_sink.get();
+  }
 
   core::HybridConfig cfg_h = sc.hybrid_config(batching);
   cfg_h.approx.fidelity = fidelity;
   const auto finalize_probes =
-      [](const std::vector<core::ApproxCluster*>& clusters) {
+      [&](const std::vector<core::ApproxCluster*>& clusters) {
         for (auto* c : clusters) {
           if (c != nullptr) {
             c->flush_batch();
             c->finalize_fidelity();
+            // Fold the transition trace into the engine-invariant tier
+            // lane (and export it for element-wise comparison).
+            for (const core::TierTransition& t : c->tier_trace()) {
+              digest.on_tier_transition(c->cluster_id(), t.t_ns,
+                                        static_cast<std::uint8_t>(t.from),
+                                        static_cast<std::uint8_t>(t.to));
+            }
+            if (traces != nullptr) {
+              (*traces)[c->cluster_id()] = c->tier_trace();
+            }
           }
         }
       };
@@ -190,6 +325,7 @@ Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
     inject_flows(sim, sc.flows, net.hosts, owner, 0, digest);
     sim.run_until(end);
     finalize_probes(net.clusters);
+    dump_capture();
     return digest.finalize();
   }
 
@@ -207,6 +343,7 @@ Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
   }
   engine.run_until(end);
   finalize_probes(out.net.clusters);
+  dump_capture();
   return digest.finalize();
 }
 
@@ -289,6 +426,94 @@ std::string check_fidelity(const HybridScenario& sc,
   }
   if (rows_out != nullptr) *rows_out += rows;
   if (shadow_out != nullptr) *shadow_out += shadow;
+  return {};
+}
+
+namespace {
+
+std::string describe_traces(const TierTraces& want, const TierTraces& got) {
+  std::ostringstream os;
+  const auto dump = [&os](const char* tag, const TierTraces& t) {
+    os << "  " << tag << ":";
+    for (const auto& [cluster, trace] : t) {
+      os << " c" << cluster << "=[";
+      for (std::size_t i = 0; i < trace.size(); ++i) {
+        if (i > 0) os << " ";
+        os << trace[i].t_ns << "ns:" << core::to_string(trace[i].from)
+           << ">" << core::to_string(trace[i].to);
+      }
+      os << "]";
+    }
+    os << "\n";
+  };
+  dump("want", want);
+  dump("got ", got);
+  return os.str();
+}
+
+}  // namespace
+
+std::string check_granularity(const HybridScenario& sc,
+                              const std::vector<std::uint32_t>& partitions,
+                              std::uint64_t* transitions_out) {
+  std::ostringstream os;
+  HybridScenario adaptive = sc;
+  adaptive.adaptive_tiers = true;
+
+  // A. Draw-order contract with the controller in the loop: batching off
+  // vs on, one engine, sampled drops. Every tier extracts features and
+  // consumes the drop draw at admission, so the RNG cadence — and
+  // therefore every outcome — must not depend on coalescing.
+  HybridScenario sampled = adaptive;
+  sampled.sample_drops = true;
+  TierTraces tr_off;
+  TierTraces tr_on;
+  const Digest seq_off =
+      run_hybrid(sampled, 0, /*batching=*/false, nullptr, &tr_off);
+  const Digest seq_on =
+      run_hybrid(sampled, 0, /*batching=*/true, nullptr, &tr_on);
+  if (!seq_off.engine_invariant_equal(seq_on)) {
+    os << "adaptive sequential batching off vs on DIVERGED (sampled drops)\n"
+       << "  off: " << seq_off.to_string() << "\n"
+       << "  on:  " << seq_on.to_string();
+    return os.str();
+  }
+  if (tr_off != tr_on) {
+    os << "adaptive sequential batching off vs on: tier-transition traces "
+          "DIVERGED\n"
+       << describe_traces(tr_off, tr_on);
+    return os.str();
+  }
+
+  // B. Engine equivalence with the controller on: sequential vs PDES,
+  // threshold drops (cross-engine RNG forks differ by construction),
+  // batching active. The digest tier lane catches divergence, but the
+  // element-wise trace comparison localizes it to a cluster and a
+  // virtual time.
+  HybridScenario threshold = adaptive;
+  threshold.sample_drops = false;
+  TierTraces tr_seq;
+  const Digest seq =
+      run_hybrid(threshold, 0, /*batching=*/true, nullptr, &tr_seq);
+  if (transitions_out != nullptr) *transitions_out += seq.transitions;
+  for (const std::uint32_t p : partitions) {
+    TierTraces tr_p;
+    const Digest pdes =
+        run_hybrid(threshold, p, /*batching=*/true, nullptr, &tr_p);
+    if (!seq.engine_invariant_equal(pdes)) {
+      os << "adaptive sequential vs pdes(" << p
+         << ") DIVERGED (threshold drops)\n"
+         << "  sequential: " << seq.to_string() << "\n"
+         << "  pdes(" << p << "): " << pdes.to_string();
+      return os.str();
+    }
+    if (tr_seq != tr_p) {
+      os << "adaptive sequential vs pdes(" << p
+         << "): tier-transition traces DIVERGED\n"
+         << describe_traces(tr_seq, tr_p);
+      return os.str();
+    }
+  }
   return {};
 }
 

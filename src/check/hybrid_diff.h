@@ -26,12 +26,14 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "approx/micro_model.h"
 #include "check/digest.h"
 #include "check/scenario.h"
+#include "core/granularity.h"
 #include "core/hybrid_builder.h"
 #include "telemetry/fidelity.h"
 
@@ -52,6 +54,11 @@ struct HybridScenario {
   /// Weight-initialisation stream for the boundary models (ingress uses
   /// model_seed, egress model_seed + 7).
   std::uint64_t model_seed = 1;
+  /// Boundary-model architecture. The fuzz corpus keeps the tiny default
+  /// (speed); bench_granularity scales it up so per-packet inference
+  /// carries production-like weight in its tier comparisons.
+  std::uint32_t model_hidden = 8;
+  std::uint32_t model_layers = 1;
   /// Drop-head bias: sigmoid(drop_bias) sets the baseline drop rate for
   /// sampled mode; values near 0 make threshold drops feature-dependent.
   double drop_bias = -2.0;
@@ -65,6 +72,24 @@ struct HybridScenario {
   std::size_t batch_max = 8;
   std::int64_t batch_window_ns = 3'000;
   std::int64_t lookahead_ns = 1'000;
+
+  /// Adaptive multi-granularity (DESIGN.md §12): when true, every
+  /// approximated cluster runs ClusterTierPolicy::Adaptive with the
+  /// knobs below. run_hybrid then attaches an internal fidelity sink
+  /// (congestion tracking only, shadow sampling off) when the caller
+  /// passes none — the controller cannot run without its signal.
+  bool adaptive_tiers = false;
+  std::uint32_t min_dwell_windows = 2;
+  /// Pinned tier when adaptive_tiers is false (default Ml = the legacy
+  /// path; Packet/Fluid give the bench fixed-tier comparison points).
+  core::ClusterTier fixed_tier = core::ClusterTier::Ml;
+  /// Congestion-classification thresholds handed to the internal sink
+  /// (fractions of aggregate boundary capacity; small scenarios need
+  /// far lower cut-offs than the FidelityConfig defaults).
+  double quiescent_util = 0.02;
+  double congested_util = 0.5;
+  double congested_drop_rate = 0.02;
+  double classify_ewma_alpha = 0.3;
 
   std::int64_t duration_ns = 2'500'000;
   std::vector<FlowSpec> flows;
@@ -93,15 +118,28 @@ struct HybridScenario {
 /// (reproducible from the seed alone; no repro files needed).
 HybridScenario random_hybrid_scenario(std::uint64_t scenario_seed);
 
+/// Samples an adaptive-granularity scenario: quiescent-heavy traffic
+/// (sparse early flows, a long silence) with one incast burst into an
+/// approximated cluster, plus classification thresholds tuned so the
+/// controller actually demotes to fluid and promotes back. Pure
+/// function of `scenario_seed`.
+HybridScenario random_granularity_scenario(std::uint64_t scenario_seed);
+
+/// Executed tier transitions per cluster index, in virtual-time order.
+using TierTraces = std::map<std::uint32_t, std::vector<core::TierTransition>>;
+
 /// Runs the scenario to its horizon and digests the run. partitions == 0
 /// selects the sequential Simulator{seed}; otherwise a ParallelEngine
 /// with that many partitions (same seed, lookahead_ns). A non-null
 /// `fidelity` sink attaches the observatory to every ApproxCluster (its
 /// probes are finalized before returning); the digest-invariance
-/// contract says the returned digest is bit-identical either way.
+/// contract says the returned digest is bit-identical either way. With
+/// adaptive_tiers, each cluster's transition trace is folded into the
+/// digest tier lane and copied to `traces` when non-null.
 Digest run_hybrid(const HybridScenario& sc, std::uint32_t partitions,
                   bool batching,
-                  telemetry::FidelitySink* fidelity = nullptr);
+                  telemetry::FidelitySink* fidelity = nullptr,
+                  TierTraces* traces = nullptr);
 
 /// Runs both equivalence checks (A with sampled drops, B with threshold
 /// drops at every partition count). Returns the empty string when all
@@ -124,5 +162,20 @@ std::string check_fidelity(const HybridScenario& sc,
                            const std::vector<std::uint32_t>& partitions,
                            std::uint64_t* rows_out = nullptr,
                            std::uint64_t* shadow_out = nullptr);
+
+/// Adaptive-granularity equivalence (DESIGN.md §12). Forces
+/// adaptive_tiers on and runs:
+///   A. sequential, batching off vs on, sampled drops — the controller
+///      plus the coalesced queue must preserve the draw-order contract;
+///   B. sequential vs PDES at every partition count, threshold drops,
+///      batching on — transitions must fire at identical virtual times
+///      across engines (digest tier lane AND element-wise trace
+///      comparison per cluster).
+/// Accumulates the sequential run's executed transition count into
+/// `transitions_out` (callers assert the corpus actually transitions).
+/// Returns "" when everything agrees, else the first divergence.
+std::string check_granularity(const HybridScenario& sc,
+                              const std::vector<std::uint32_t>& partitions,
+                              std::uint64_t* transitions_out = nullptr);
 
 }  // namespace esim::check

@@ -5,6 +5,7 @@
 #include <span>
 #include <stdexcept>
 
+#include "core/granularity.h"
 #include "telemetry/fidelity.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
@@ -62,6 +63,37 @@ ApproxCluster::ApproxCluster(sim::Simulator& sim, std::string name,
     probe_ = std::make_unique<telemetry::ClusterFidelityProbe>(
         *config_.fidelity, config_.cluster, capacity_bps, sim.telemetry());
   }
+  // Fidelity tiers (DESIGN.md §12): the Ml and Packet backends are
+  // always available; the fluid rate model is built only when the
+  // policy can reach it. In adaptive mode the controller reads the
+  // probe's congestion classification, so the observatory is mandatory.
+  tier_ = config_.tier.fixed_tier;
+  ml_backend_ = std::make_unique<MlTierBackend>(
+      &ingress_model_, &egress_model_, config_.sample_drops,
+      config_.reference_inference);
+  packet_backend_ = std::make_unique<PacketTierBackend>();
+  if (config_.tier.adaptive() || tier_ == ClusterTier::Fluid) {
+    FluidClusterBackend::Config fcfg;
+    fcfg.spec = config_.spec;
+    fcfg.bandwidth_bps = config_.port_bandwidth_bps;
+    fcfg.flow_bytes = config_.tier.fluid_flow_bytes;
+    fcfg.idle_windows = config_.tier.fluid_idle_windows;
+    fcfg.window_ns = config_.macro.window.ns();
+    fluid_backend_ = std::make_unique<FluidClusterBackend>(fcfg);
+  }
+  if (config_.tier.adaptive()) {
+    if (!probe_) {
+      throw std::invalid_argument(
+          this->name() +
+          ": adaptive tier policy requires the fidelity observatory "
+          "(set Config::fidelity to an enabled sink)");
+    }
+    controller_ = std::make_unique<GranularityController>(
+        config_.tier, config_.cluster, probe_.get(), sim.telemetry());
+  } else if (auto* r = sim.telemetry()) {
+    r->gauge("granularity.c" + std::to_string(config_.cluster) + ".tier")
+        ->set(static_cast<std::int64_t>(tier_));
+  }
   if (auto* r = sim.telemetry()) {
     m_inferences_ = r->counter("approx.inferences");
     m_macro_transitions_ = r->counter("approx.macro_transitions");
@@ -72,15 +104,24 @@ ApproxCluster::ApproxCluster(sim::Simulator& sim, std::string name,
     auto* ingress = r->counter("approx.ingress_packets");
     auto* intra = r->counter("approx.intra_packets");
     auto* conflicts = r->counter("approx.conflicts_resolved");
-    r->add_flusher(
-        [this, drops, backlog, egress, ingress, intra, conflicts] {
-          drops->set(stats_.predicted_drops);
-          backlog->set(stats_.backlog_drops);
-          egress->set(stats_.egress_packets);
-          ingress->set(stats_.ingress_packets);
-          intra->set(stats_.intra_packets);
-          conflicts->set(stats_.conflicts_resolved);
-        });
+    auto* tp_packet = r->counter("approx.tier_packets.packet");
+    auto* tp_ml = r->counter("approx.tier_packets.ml");
+    auto* tp_fluid = r->counter("approx.tier_packets.fluid");
+    r->add_flusher([this, drops, backlog, egress, ingress, intra, conflicts,
+                    tp_packet, tp_ml, tp_fluid] {
+      drops->set(stats_.predicted_drops);
+      backlog->set(stats_.backlog_drops);
+      egress->set(stats_.egress_packets);
+      ingress->set(stats_.ingress_packets);
+      intra->set(stats_.intra_packets);
+      conflicts->set(stats_.conflicts_resolved);
+      tp_packet->set(
+          stats_.tier_packets[static_cast<std::size_t>(ClusterTier::Packet)]);
+      tp_ml->set(
+          stats_.tier_packets[static_cast<std::size_t>(ClusterTier::Ml)]);
+      tp_fluid->set(
+          stats_.tier_packets[static_cast<std::size_t>(ClusterTier::Fluid)]);
+    });
   }
 }
 
@@ -123,8 +164,48 @@ void ApproxCluster::start() {
     // Fidelity windows piggyback on this timer (they never schedule
     // events of their own — the digest-invariance contract, §11).
     if (probe_) probe_->on_macro_window(now().ns(), macro_.window().ns());
+    // Tier housekeeping on the active backend (e.g. the fluid model
+    // expires idle flows), then the controller's transition decision.
+    // Ordering is the drain-before-switch rule: flush_batch() above
+    // resolved every queued prediction, so a switch at this boundary
+    // starts the new tier with no in-flight work. The controller's
+    // inputs (probe EWMAs) and this timer's firing times are engine-
+    // invariant, so sequential and PDES runs transition at identical
+    // virtual times (DESIGN.md §12).
+    active_backend().on_macro_window(now());
+    if (controller_) {
+      if (const auto next = controller_->on_macro_window(now().ns())) {
+        // Packets arriving at exactly this nanosecond are decided by the
+        // outgoing tier whichever side of this timer they pop on
+        // (tier_for).
+        pre_transition_tier_ = tier_;
+        transition_at_ns_ = now().ns();
+        tier_ = *next;
+        ++stats_.tier_transitions;
+        telemetry::trace_instant("granularity.transition",
+                                 static_cast<std::int64_t>(tier_));
+        active_backend().on_activated(now());
+      }
+    }
     start();
   });
+}
+
+ClusterBackend& ApproxCluster::backend_for(ClusterTier tier) {
+  switch (tier) {
+    case ClusterTier::Packet:
+      return *packet_backend_;
+    case ClusterTier::Fluid:
+      return *fluid_backend_;
+    case ClusterTier::Ml:
+      break;
+  }
+  return *ml_backend_;
+}
+
+const std::vector<TierTransition>& ApproxCluster::tier_trace() const {
+  static const std::vector<TierTransition> kEmpty;
+  return controller_ ? controller_->transitions() : kEmpty;
 }
 
 // RNG draw-order contract: with sample_drops, every admitted packet
@@ -140,7 +221,10 @@ bool ApproxCluster::decide_drop(double probability, double draw) const {
 }
 
 void ApproxCluster::handle_packet(Packet pkt) {
-  if (batching()) {
+  // The batched prediction queue is an Ml-tier fast path; the other
+  // tiers decide synchronously at admission (their decisions are cheap,
+  // so there is nothing to coalesce).
+  if (tier_for(now()) == ClusterTier::Ml && batching()) {
     enqueue_packet(std::move(pkt));
   } else {
     process_packet(std::move(pkt));
@@ -154,39 +238,47 @@ void ApproxCluster::process_packet(Packet pkt) {
       config_.spec.cluster_of_host(pkt.flow.dst_host);
 
   const bool egress = src_cluster == config_.cluster;
-  approx::MicroModel& model = egress ? egress_model_ : ingress_model_;
   approx::FeatureExtractor& extractor =
       egress ? egress_features_ : ingress_features_;
 
+  // Features are extracted — and the drop draw consumed — in EVERY
+  // tier: the extractor EWMAs stay warm across tier transitions, the
+  // shadow probe gets its feature row, and the RNG stream advances one
+  // uniform per admitted packet regardless of tier (so the draw-order
+  // contract is tier-independent).
   const approx::PacketFeatures features =
       extractor.extract(pkt, now(), macro_.state());
-  const auto infer = [&] {
-    return config_.reference_inference ? model.predict_reference(features)
-                                       : model.predict(features);
-  };
-  approx::MicroModel::Prediction prediction;
-  if (m_inferences_ != nullptr) {
-    telemetry::Span span{"approx.inference"};
-    const auto t0 = std::chrono::steady_clock::now();
-    prediction = infer();
-    m_inferences_->inc();
-    // Wall-clock inference cost; virtual time is unaffected.
-    m_inference_ns_->record(static_cast<std::uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - t0)
-            .count()));
-  } else {
-    telemetry::Span span{"approx.inference"};
-    prediction = infer();
-  }
   Pending p;
   p.arrival = now();
   p.egress = egress;
   p.dst_cluster = dst_cluster;
-  p.pkt = std::move(pkt);
   if (config_.sample_drops) p.drop_draw = rng().uniform();
-  apply_outcome(std::move(p), prediction,
-                std::span<const double>{features.v});
+
+  const AdmitContext ctx{pkt, p.arrival, egress,
+                         std::span<const double>{features.v}, p.drop_draw};
+  const ClusterTier tier = tier_for(p.arrival);
+  TierDecision decision;
+  if (tier == ClusterTier::Ml) {
+    if (m_inferences_ != nullptr) {
+      telemetry::Span span{"approx.inference"};
+      const auto t0 = std::chrono::steady_clock::now();
+      decision = ml_backend_->admit(ctx);
+      m_inferences_->inc();
+      // Wall-clock inference cost; virtual time is unaffected.
+      m_inference_ns_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count()));
+    } else {
+      telemetry::Span span{"approx.inference"};
+      decision = ml_backend_->admit(ctx);
+    }
+  } else {
+    decision = backend_for(tier).admit(ctx);
+  }
+  p.pkt = std::move(pkt);
+  apply_decision(std::move(p), tier, decision,
+                 std::span<const double>{features.v});
 }
 
 void ApproxCluster::enqueue_packet(Packet pkt) {
@@ -290,9 +382,18 @@ void ApproxCluster::flush_batch() {
 void ApproxCluster::apply_outcome(
     Pending&& p, const approx::MicroModel::Prediction& prediction,
     std::span<const double> features) {
-  const double latency =
-      std::max(prediction.latency_seconds, config_.min_latency_s);
-  const bool drop = decide_drop(prediction.drop_probability, p.drop_draw);
+  TierDecision decision;
+  decision.drop = decide_drop(prediction.drop_probability, p.drop_draw);
+  decision.latency_s = prediction.latency_seconds;
+  apply_decision(std::move(p), ClusterTier::Ml, decision, features);
+}
+
+void ApproxCluster::apply_decision(Pending&& p, ClusterTier tier,
+                                   TierDecision decision,
+                                   std::span<const double> features) {
+  const double latency = std::max(decision.latency_s, config_.min_latency_s);
+  const bool drop = decision.drop;
+  ++stats_.tier_packets[static_cast<std::size_t>(tier)];
   macro_.observe(latency, drop);
   if (probe_) {
     probe_->observe_packet(p.pkt.size_bytes(), drop);
@@ -306,8 +407,21 @@ void ApproxCluster::apply_outcome(
     ++stats_.predicted_drops;
     return;  // TCP on the endpoints recovers, as with a real queue drop
   }
-  const sim::SimTime desired =
-      p.arrival + sim::SimTime::from_seconds_f(latency);
+  sim::SimTime desired = p.arrival + sim::SimTime::from_seconds_f(latency);
+  // De-phasing skew (DESIGN.md §12): the packet tier's min-latency clamp
+  // and the fluid tier's line-rate fallback are quantized, so two
+  // clusters can compute deliveries into one core at the SAME nanosecond
+  // — and the pop order of same-time cross-partition injections is
+  // engine-dependent, which would make the core's queue order (and every
+  // digest lane downstream) diverge between sequential and PDES. One
+  // nanosecond per cluster index separates them deterministically; the
+  // skew only adds delay, so the PDES lookahead bound (delivery delay >=
+  // min_latency_s) is untouched. The Ml tier keeps the legacy schedule:
+  // its latencies are continuous-valued, so exact ties have measure
+  // zero there.
+  if (tier != ClusterTier::Ml) {
+    desired += sim::SimTime::from_ns(config_.cluster);
+  }
   if (p.egress && p.dst_cluster == config_.cluster) {
     // Intra-cluster traffic of an approximated cluster. Normally elided
     // by the workload filter (paper §6.2); when present, the fabric model

@@ -25,6 +25,7 @@
 #include "approx/features.h"
 #include "approx/macro_model.h"
 #include "approx/micro_model.h"
+#include "core/cluster_backend.h"
 #include "core/conflict.h"
 #include "net/clos.h"
 #include "net/link.h"
@@ -40,6 +41,9 @@ class Histogram;
 }
 
 namespace esim::core {
+
+class GranularityController;
+struct TierTransition;
 
 /// One approximated cluster fabric.
 class ApproxCluster : public sim::Component, public net::PacketHandler {
@@ -80,6 +84,13 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
     sim::SimTime batch_window{};
     /// Macro classifier parameters.
     approx::MacroClassifier::Config macro;
+    /// Fidelity-tier policy (DESIGN.md §12). Fixed/Ml (the default) is
+    /// the legacy behaviour; Fixed/{Packet,Fluid} pins the cluster to
+    /// another tier; Adaptive lets a GranularityController demote and
+    /// promote the tier at macro-window boundaries from the fidelity
+    /// observatory's congestion classification — adaptive mode therefore
+    /// requires `fidelity` to be set and enabled.
+    ClusterTierPolicy tier;
     /// Fidelity observatory sink (DESIGN.md §11), shared by every cluster
     /// of a run; not owned. Non-null with an enabled config attaches a
     /// ClusterFidelityProbe: shadow-sampled reference comparisons plus
@@ -97,6 +108,10 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
     std::uint64_t conflicts_resolved = 0;
     /// Drops from emulated-port backlog overflow (virtual drop-tail).
     std::uint64_t backlog_drops = 0;
+    /// Boundary packets decided by each tier (indexed by ClusterTier).
+    std::uint64_t tier_packets[kClusterTierCount] = {};
+    /// Executed tier transitions (adaptive mode).
+    std::uint64_t tier_transitions = 0;
   };
 
   /// Copies the trained models (each cluster needs private hidden state).
@@ -147,6 +162,16 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
     return probe_.get();
   }
 
+  /// The fidelity tier currently deciding boundary packets.
+  ClusterTier tier() const { return tier_; }
+
+  /// The cluster index this component replaces.
+  std::uint32_t cluster_id() const { return config_.cluster; }
+
+  /// Executed tier transitions in virtual-time order (empty in fixed
+  /// mode). Fold into StateDigest::on_tier_transition after the run.
+  const std::vector<TierTransition>& tier_trace() const;
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -171,6 +196,21 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   void apply_outcome(Pending&& p,
                      const approx::MicroModel::Prediction& prediction,
                      std::span<const double> features);
+  /// Common tail of every tier: clamp the latency floor, feed the macro
+  /// model and the probe, count under `tier`, and deliver (or drop).
+  void apply_decision(Pending&& p, ClusterTier tier, TierDecision decision,
+                      std::span<const double> features);
+  /// The tier deciding a packet admitted at `arrival`. Normally tier_;
+  /// a packet arriving at EXACTLY the instant of the latest transition
+  /// is decided by the pre-transition tier regardless of whether it
+  /// popped before or after the macro timer — under PDES a remote-
+  /// injected arrival can tie with the local timer event with engine-
+  /// dependent order, and this rule makes the outcome order-blind.
+  ClusterTier tier_for(sim::SimTime arrival) const {
+    return arrival.ns() == transition_at_ns_ ? pre_transition_tier_ : tier_;
+  }
+  ClusterBackend& backend_for(ClusterTier tier);
+  ClusterBackend& active_backend() { return backend_for(tier_); }
   bool decide_drop(double probability, double draw) const;
   /// Shadow comparison for one sampled packet: reference inference on
   /// the path production does NOT use, plus the queue-model ground
@@ -198,6 +238,16 @@ class ApproxCluster : public sim::Component, public net::PacketHandler {
   std::vector<approx::MicroModel::Prediction> egress_preds_, ingress_preds_;
   std::uint64_t batch_epoch_ = 0;  // guards the window-edge timer
   Stats stats_;
+  // Fidelity tiers (DESIGN.md §12). tier_ is the runtime state; the
+  // Ml/Packet backends always exist, the fluid backend only when the
+  // policy can reach it, the controller only in adaptive mode.
+  ClusterTier tier_ = ClusterTier::Ml;
+  ClusterTier pre_transition_tier_ = ClusterTier::Ml;
+  std::int64_t transition_at_ns_ = -1;  // latest executed transition
+  std::unique_ptr<MlTierBackend> ml_backend_;
+  std::unique_ptr<PacketTierBackend> packet_backend_;
+  std::unique_ptr<FluidClusterBackend> fluid_backend_;
+  std::unique_ptr<GranularityController> controller_;
   // Fidelity observatory probe; null unless Config::fidelity is enabled.
   std::unique_ptr<telemetry::ClusterFidelityProbe> probe_;
   // Aggregate approx.* series; outcome totals are published by a

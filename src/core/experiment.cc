@@ -228,7 +228,9 @@ RunResult run_full_simulation(const ExperimentConfig& config,
   if (result.flows_completed > 0) {
     double sum = 0;
     for (const auto& r : gen->flows().records()) {
-      if (r.completed) sum += r.fct().to_seconds();
+      if (!r.completed) continue;
+      sum += r.fct().to_seconds();
+      result.fct_cdf.add(r.fct().to_seconds());
     }
     result.mean_fct_seconds =
         sum / static_cast<double>(result.flows_completed);
@@ -293,7 +295,9 @@ RunResult run_hybrid_simulation(const ExperimentConfig& config,
   if (result.flows_completed > 0) {
     double sum = 0;
     for (const auto& r : gen->flows().records()) {
-      if (r.completed) sum += r.fct().to_seconds();
+      if (!r.completed) continue;
+      sum += r.fct().to_seconds();
+      result.fct_cdf.add(r.fct().to_seconds());
     }
     result.mean_fct_seconds =
         sum / static_cast<double>(result.flows_completed);
@@ -316,6 +320,10 @@ RunResult run_hybrid_simulation(const ExperimentConfig& config,
     result.approx_stats.conflicts_resolved +=
         cluster->stats().conflicts_resolved;
     result.approx_stats.backlog_drops += cluster->stats().backlog_drops;
+    for (std::size_t t = 0; t < kClusterTierCount; ++t) {
+      result.approx_stats.tier_packets[t] += cluster->stats().tier_packets[t];
+    }
+    result.approx_stats.tier_transitions += cluster->stats().tier_transitions;
   }
   result.regions = collect_regions(network);
   if (config.telemetry) result.metrics = registry.snapshot();

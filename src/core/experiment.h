@@ -127,6 +127,9 @@ struct RunResult {
   std::uint64_t flows_launched = 0;
   std::uint64_t flows_completed = 0;
   double mean_fct_seconds = 0.0;
+  /// FCT of every completed flow, in seconds. Feeds the Kolmogorov
+  /// distance comparisons (stats::ks_distance) between fidelity tiers.
+  stats::EmpiricalCdf fct_cdf;
   /// Hybrid runs only: totals across ApproxClusters.
   ApproxCluster::Stats approx_stats;
   /// Link-level totals by network region (always collected; the Links

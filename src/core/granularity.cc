@@ -1,0 +1,47 @@
+#include "core/granularity.h"
+
+#include <stdexcept>
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace esim::core {
+
+GranularityController::GranularityController(
+    const ClusterTierPolicy& policy, std::uint32_t cluster,
+    const telemetry::ClusterFidelityProbe* probe,
+    telemetry::Registry* registry)
+    : policy_{policy}, probe_{probe}, tier_{policy.fixed_tier} {
+  if (probe_ == nullptr) {
+    throw std::invalid_argument(
+        "GranularityController: adaptive mode needs a fidelity probe "
+        "(enable FidelityConfig on the run)");
+  }
+  if (registry != nullptr) {
+    const std::string prefix = "granularity.c" + std::to_string(cluster);
+    g_tier_ = registry->gauge(prefix + ".tier");
+    g_tier_->set(static_cast<std::int64_t>(tier_));
+    m_transitions_ = registry->counter(prefix + ".transitions");
+    m_transitions_total_ = registry->counter("granularity.transitions");
+  }
+}
+
+std::optional<ClusterTier> GranularityController::on_macro_window(
+    std::int64_t now_ns) {
+  ++dwell_windows_;
+  const ClusterTier target = target_for(probe_->state());
+  if (target == tier_ || dwell_windows_ < policy_.min_dwell_windows) {
+    return std::nullopt;
+  }
+  trace_.push_back(TierTransition{now_ns, tier_, target});
+  tier_ = target;
+  dwell_windows_ = 0;
+  if (g_tier_ != nullptr) {
+    g_tier_->set(static_cast<std::int64_t>(tier_));
+    m_transitions_->inc();
+    m_transitions_total_->inc();
+  }
+  return tier_;
+}
+
+}  // namespace esim::core

@@ -54,6 +54,13 @@ void add_run_result(telemetry::RunReport& report, std::string_view section,
     report.set(s + ".approx.predicted_drops", a.predicted_drops);
     report.set(s + ".approx.backlog_drops", a.backlog_drops);
     report.set(s + ".approx.conflicts_resolved", a.conflicts_resolved);
+    report.set(s + ".approx.tier_packets.packet",
+               a.tier_packets[static_cast<std::size_t>(ClusterTier::Packet)]);
+    report.set(s + ".approx.tier_packets.ml",
+               a.tier_packets[static_cast<std::size_t>(ClusterTier::Ml)]);
+    report.set(s + ".approx.tier_packets.fluid",
+               a.tier_packets[static_cast<std::size_t>(ClusterTier::Fluid)]);
+    report.set(s + ".approx.tier_transitions", a.tier_transitions);
   }
 
   if (!result.metrics.instruments.empty()) {

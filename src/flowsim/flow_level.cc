@@ -8,6 +8,14 @@
 
 namespace esim::flowsim {
 
+namespace {
+// Same-instant slack for arrival admission (seconds) and the byte
+// threshold below which a flow counts as drained. Both match the
+// original offline engine so run() results are unchanged.
+constexpr double kInstantEps = 1e-15;
+constexpr double kDrainedBytes = 1e-6;
+}  // namespace
+
 FlowLevelSimulator::FlowLevelSimulator(const net::ClosSpec& spec,
                                        double bandwidth_bps)
     : spec_{spec}, bandwidth_bps_{bandwidth_bps} {
@@ -104,8 +112,12 @@ void FlowLevelSimulator::add_flow(std::uint64_t id, net::HostId src,
   f.bytes_total = std::max<std::uint64_t>(bytes, 1);
   f.remaining = static_cast<double>(f.bytes_total);
   f.arrival = arrival;
+  if (f.arrival.to_seconds() < now_s_) {
+    f.arrival = sim::SimTime::from_seconds_f(now_s_);
+  }
   f.links = route(src, dst);
   flows_.push_back(std::move(f));
+  arrivals_.push(&flows_.back());
 }
 
 void FlowLevelSimulator::recompute_rates(std::vector<PendingFlow*>& active,
@@ -154,68 +166,124 @@ void FlowLevelSimulator::recompute_rates(std::vector<PendingFlow*>& active,
   }
 }
 
-void FlowLevelSimulator::run() {
-  std::sort(flows_.begin(), flows_.end(),
-            [](const PendingFlow& a, const PendingFlow& b) {
-              if (a.arrival != b.arrival) return a.arrival < b.arrival;
-              return a.id < b.id;
-            });
+void FlowLevelSimulator::refresh_rates() {
+  if (!rates_dirty_) return;
+  rates_dirty_ = false;
+  if (active_.empty()) {
+    rates_.clear();
+    return;
+  }
+  recompute_rates(active_, rates_);
+  ++recomputations_;
+}
 
-  std::vector<PendingFlow*> active;
-  std::vector<double> rates;
-  std::size_t next_arrival = 0;
-  double now_s = 0.0;
-
-  while (!active.empty() || next_arrival < flows_.size()) {
-    // Admit arrivals at the current instant.
-    if (active.empty() && next_arrival < flows_.size()) {
-      now_s = std::max(now_s, flows_[next_arrival].arrival.to_seconds());
+bool FlowLevelSimulator::remove_flow(std::uint64_t id) {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]->id != id) continue;
+    active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(i));
+    rates_dirty_ = true;
+    return true;
+  }
+  // Not yet arrived: tombstone it; the admission loop skips removed
+  // flows when they surface, so the heap needs no surgery.
+  for (auto& f : flows_) {
+    if (f.id == id && !f.removed && f.remaining > kDrainedBytes &&
+        f.arrival.to_seconds() > now_s_ + kInstantEps) {
+      f.removed = true;
+      return true;
     }
-    while (next_arrival < flows_.size() &&
-           flows_[next_arrival].arrival.to_seconds() <= now_s + 1e-15) {
-      active.push_back(&flows_[next_arrival]);
-      ++next_arrival;
-    }
+  }
+  return false;
+}
 
-    recompute_rates(active, rates);
-    ++recomputations_;
+double FlowLevelSimulator::rate_of(std::uint64_t id) {
+  refresh_rates();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i]->id == id) return rates_[i];
+  }
+  return 0.0;
+}
+
+void FlowLevelSimulator::step_until(double target_s, bool stop_at_target) {
+  for (;;) {
+    // Admit every arrival due at the current instant (skipping
+    // tombstoned flows), in (arrival, id) order.
+    while (!arrivals_.empty() &&
+           (arrivals_.top()->removed ||
+            arrivals_.top()->arrival.to_seconds() <= now_s_ + kInstantEps)) {
+      PendingFlow* f = arrivals_.top();
+      arrivals_.pop();
+      if (f->removed) continue;
+      active_.push_back(f);
+      rates_dirty_ = true;
+    }
+    if (active_.empty()) {
+      // Idle: jump to the next arrival if it falls inside the window.
+      if (!arrivals_.empty() &&
+          arrivals_.top()->arrival.to_seconds() <= target_s + kInstantEps) {
+        now_s_ = std::max(now_s_, arrivals_.top()->arrival.to_seconds());
+        continue;
+      }
+      if (stop_at_target) now_s_ = std::max(now_s_, target_s);
+      return;
+    }
+    refresh_rates();
 
     // Earliest completion among active flows at these rates.
     double dt_complete = std::numeric_limits<double>::infinity();
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      const double r = rates[i] / 8.0;  // bytes/sec
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const double r = rates_[i] / 8.0;  // bytes/sec
       if (r > 0) {
-        dt_complete = std::min(dt_complete, active[i]->remaining / r);
+        dt_complete = std::min(dt_complete, active_[i]->remaining / r);
       }
     }
     // Time until the next arrival.
     double dt_arrival = std::numeric_limits<double>::infinity();
-    if (next_arrival < flows_.size()) {
-      dt_arrival = flows_[next_arrival].arrival.to_seconds() - now_s;
+    if (!arrivals_.empty()) {
+      dt_arrival = arrivals_.top()->arrival.to_seconds() - now_s_;
     }
+    const double dt_target = target_s - now_s_;
 
-    const double dt = std::min(dt_complete, dt_arrival);
+    const double dt = std::min({dt_complete, dt_arrival, dt_target});
+    if (dt <= 0.0) return;  // at the target with nothing due right now
     // Drain bytes over dt.
-    now_s += dt;
+    now_s_ += dt;
     std::vector<PendingFlow*> still_active;
-    for (std::size_t i = 0; i < active.size(); ++i) {
-      const double r = rates[i] / 8.0;
-      active[i]->remaining -= r * dt;
-      if (active[i]->remaining <= 1e-6) {
+    std::vector<double> still_rates;
+    bool completed = false;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const double r = rates_[i] / 8.0;
+      active_[i]->remaining -= r * dt;
+      if (active_[i]->remaining <= kDrainedBytes) {
         FlowResult res;
-        res.id = active[i]->id;
-        res.src = active[i]->src;
-        res.dst = active[i]->dst;
-        res.bytes = active[i]->bytes_total;
-        res.arrival = active[i]->arrival;
-        res.completion = sim::SimTime::from_seconds_f(now_s);
+        res.id = active_[i]->id;
+        res.src = active_[i]->src;
+        res.dst = active_[i]->dst;
+        res.bytes = active_[i]->bytes_total;
+        res.arrival = active_[i]->arrival;
+        res.completion = sim::SimTime::from_seconds_f(now_s_);
         results_.push_back(res);
+        completed = true;
       } else {
-        still_active.push_back(active[i]);
+        still_active.push_back(active_[i]);
+        still_rates.push_back(rates_[i]);
       }
     }
-    active.swap(still_active);
+    active_.swap(still_active);
+    rates_.swap(still_rates);
+    if (completed) rates_dirty_ = true;
   }
+}
+
+void FlowLevelSimulator::advance_to(sim::SimTime t) {
+  const double target_s = t.to_seconds();
+  if (target_s <= now_s_) return;
+  step_until(target_s, /*stop_at_target=*/true);
+}
+
+void FlowLevelSimulator::run() {
+  step_until(std::numeric_limits<double>::infinity(),
+             /*stop_at_target=*/false);
 }
 
 }  // namespace esim::flowsim

@@ -815,16 +815,16 @@ void InferenceSession::write_heads(const double* h, double* out) const {
 // that lane's h/c: gi[j] = (gi[j] + gh[j]) + b[j], the same
 // (matmul + add) + bias association as the reference, then the
 // activations.
-// The single-step members stay on the scalar twin: the long-validated
-// N = 1 path is left byte-for-byte as it was, and the dispatched vector
-// pass lives in predict_lanes where the batched flat gate buffer is the
-// point. Porting the step path to the vector pass is bit-identity-safe
-// future work (ROADMAP).
+// The single-step members ride the same dispatched vector pass as
+// predict_lanes: the scalar and AVX2 twins are bit-identical by
+// construction (shared sigmoid/tanh_act polynomials, same op order), so
+// the N = 1 / sequence path gets the vector throughput without forking
+// numerics from the batched path.
 void InferenceSession::combine_lstm(const Layer& layer, double* gi,
                                     const double* gh, std::size_t lane) {
-  combine_lstm_scalar(weights_.data() + layer.b_ih, gi, gh,
-                      lane_state(lane) + layer.h_off,
-                      lane_state(lane) + layer.c_off, layer.hidden);
+  g_combine_lstm(weights_.data() + layer.b_ih, gi, gh,
+                 lane_state(lane) + layer.h_off,
+                 lane_state(lane) + layer.c_off, layer.hidden);
 }
 
 // Reference semantics (GruLayer::step): gi = x W_ih^T + b_ih,
@@ -833,9 +833,9 @@ void InferenceSession::combine_lstm(const Layer& layer, double* gi,
 // h' = (1 - z) * n + z * h. Both gate rows are bias-added in place.
 void InferenceSession::combine_gru(const Layer& layer, double* gi,
                                    double* gh, std::size_t lane) {
-  combine_gru_scalar(weights_.data() + layer.b_ih,
-                     weights_.data() + layer.b_hh, gi, gh,
-                     lane_state(lane) + layer.h_off, layer.hidden);
+  g_combine_gru(weights_.data() + layer.b_ih,
+                weights_.data() + layer.b_hh, gi, gh,
+                lane_state(lane) + layer.h_off, layer.hidden);
 }
 
 // One streaming step of one layer for one lane. `gi` (when non-null) is

@@ -148,6 +148,152 @@ TEST(FlowLevel, DeterministicAcrossRuns) {
   EXPECT_EQ(run_once(), run_once());
 }
 
+// ---- Online stepping API (advance_to / remove_flow / rate_of) --------
+
+TEST(FlowLevel, AdvanceToTracksPartialProgress) {
+  FlowLevelSimulator sim{small_spec(), 10e9};
+  // 10 MB alone at 10 Gbps: 8 ms total.
+  sim.add_flow(1, 0, 12, 10'000'000, SimTime{});
+  sim.advance_to(SimTime::from_ms(4));
+  EXPECT_EQ(sim.now(), SimTime::from_ms(4));
+  EXPECT_EQ(sim.active_flows(), 1u);
+  EXPECT_NEAR(sim.rate_of(1), 10e9, 1.0);
+  EXPECT_TRUE(sim.results().empty());
+  sim.advance_to(SimTime::from_ms(10));
+  EXPECT_EQ(sim.active_flows(), 0u);
+  ASSERT_EQ(sim.results().size(), 1u);
+  EXPECT_NEAR(sim.results()[0].completion.to_seconds(), 8e-3, 1e-6);
+  // The engine idles at the target, not at the last completion.
+  EXPECT_EQ(sim.now(), SimTime::from_ms(10));
+}
+
+TEST(FlowLevel, RateOfReflectsMaxMinShareMidFlight) {
+  FlowLevelSimulator sim{small_spec(), 10e9};
+  sim.add_flow(1, 0, 1, 10'000'000, SimTime{});
+  sim.add_flow(2, 2, 1, 10'000'000, SimTime{});
+  sim.advance_to(SimTime::from_ms(1));
+  // Both bottlenecked on host 1's downlink: 5 Gbps each.
+  EXPECT_NEAR(sim.rate_of(1), 5e9, 1.0);
+  EXPECT_NEAR(sim.rate_of(2), 5e9, 1.0);
+  EXPECT_EQ(sim.rate_of(99), 0.0);  // unknown id
+}
+
+TEST(FlowLevel, RemoveFlowReleasesItsShare) {
+  FlowLevelSimulator sim{small_spec(), 10e9};
+  sim.add_flow(1, 0, 1, 10'000'000, SimTime{});
+  sim.add_flow(2, 2, 1, 10'000'000, SimTime{});
+  sim.advance_to(SimTime::from_ms(1));
+  EXPECT_TRUE(sim.remove_flow(2));
+  EXPECT_FALSE(sim.remove_flow(2));  // already gone
+  EXPECT_NEAR(sim.rate_of(1), 10e9, 1.0);
+  // Flow 1: 10MB = 0.625MB at 5G (1ms) + 9.375MB at 10G (7.5ms).
+  sim.advance_to(SimTime::from_ms(20));
+  ASSERT_EQ(sim.results().size(), 1u);
+  EXPECT_NEAR(sim.results()[0].completion.to_seconds(), 8.5e-3, 1e-5);
+}
+
+TEST(FlowLevel, RemoveUnarrivedFlowNeverAdmitsIt) {
+  FlowLevelSimulator sim{small_spec(), 10e9};
+  sim.add_flow(1, 0, 1, 10'000'000, SimTime{});
+  sim.add_flow(2, 2, 1, 10'000'000, SimTime::from_ms(4));
+  EXPECT_TRUE(sim.remove_flow(2));
+  sim.advance_to(SimTime::from_ms(20));
+  // Flow 1 never shared: 8 ms solo.
+  ASSERT_EQ(sim.results().size(), 1u);
+  EXPECT_NEAR(sim.results()[0].completion.to_seconds(), 8e-3, 1e-6);
+  EXPECT_EQ(sim.active_flows(), 0u);
+}
+
+TEST(FlowLevel, RateRecomputationsCountActiveSetChanges) {
+  FlowLevelSimulator sim{small_spec(), 10e9};
+  sim.add_flow(1, 0, 1, 5'000'000, SimTime{});
+  sim.add_flow(2, 2, 1, 10'000'000, SimTime::from_ms(2));
+  sim.run();
+  // Set changes: {1} arrive, {1,2} arrive, {2} after 1 departs; the
+  // final departure empties the set (no allocation to recompute).
+  EXPECT_EQ(sim.rate_recomputations(), 3u);
+}
+
+TEST(FlowLevel, OnlineMatchesOfflineRun) {
+  const auto spec = small_spec();
+  auto make_flows = [&](FlowLevelSimulator& sim) {
+    sim::Rng rng{19};
+    auto sizes = workload::mini_web_distribution();
+    workload::UniformTraffic matrix{spec.total_hosts()};
+    double t = 0;
+    for (int i = 0; i < 200; ++i) {
+      t += rng.exponential(25e-6);
+      const auto [src, dst] = matrix.sample(rng);
+      sim.add_flow(i + 1, src, dst, sizes->sample(rng),
+                   SimTime::from_seconds_f(t));
+    }
+  };
+  FlowLevelSimulator offline{spec, 10e9};
+  make_flows(offline);
+  offline.run();
+
+  FlowLevelSimulator online{spec, 10e9};
+  make_flows(online);
+  // Step in awkward 123 us increments, then sweep past the horizon.
+  for (int k = 1; k <= 400; ++k) {
+    online.advance_to(SimTime::from_us(123 * k));
+  }
+  online.advance_to(SimTime::from_ms(2000));
+  EXPECT_EQ(online.active_flows(), 0u);
+  ASSERT_EQ(online.results().size(), offline.results().size());
+  // Online drains bytes piecewise at every step boundary, so completion
+  // instants may drift by rounding — but only by rounding.
+  std::map<std::uint64_t, double> offline_fct;
+  for (const auto& r : offline.results()) {
+    offline_fct[r.id] = r.completion.to_seconds();
+  }
+  for (const auto& r : online.results()) {
+    ASSERT_TRUE(offline_fct.count(r.id)) << "flow " << r.id;
+    EXPECT_NEAR(r.completion.to_seconds(), offline_fct[r.id], 50e-9)
+        << "flow " << r.id;
+  }
+  EXPECT_GT(online.rate_recomputations(), 200u);
+}
+
+TEST(FlowLevel, OnlineDeterministicAcrossRuns) {
+  const auto spec = small_spec();
+  auto drive = [&] {
+    FlowLevelSimulator sim{spec, 10e9};
+    sim::Rng rng{47};
+    auto sizes = workload::mini_web_distribution();
+    workload::UniformTraffic matrix{spec.total_hosts()};
+    double t = 0;
+    for (int i = 0; i < 150; ++i) {
+      t += rng.exponential(30e-6);
+      const auto [src, dst] = matrix.sample(rng);
+      sim.add_flow(i + 1, src, dst, sizes->sample(rng),
+                   SimTime::from_seconds_f(t));
+    }
+    for (int k = 1; k <= 250; ++k) {
+      sim.advance_to(SimTime::from_us(777 * k));
+      if (k == 40) sim.remove_flow(120);  // mid-run withdrawal, both runs
+    }
+    return std::pair{sim.results(), sim.rate_recomputations()};
+  };
+  const auto [r1, n1] = drive();
+  const auto [r2, n2] = drive();
+  EXPECT_EQ(n1, n2);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t i = 0; i < r1.size(); ++i) {
+    EXPECT_EQ(r1[i].id, r2[i].id);
+    EXPECT_EQ(r1[i].completion.ns(), r2[i].completion.ns());
+  }
+}
+
+TEST(FlowLevel, AdvanceToIsMonotone) {
+  FlowLevelSimulator sim{small_spec(), 10e9};
+  sim.add_flow(1, 0, 12, 1'000'000, SimTime{});
+  sim.advance_to(SimTime::from_ms(5));
+  const SimTime before = sim.now();
+  sim.advance_to(SimTime::from_ms(1));  // into the past: no-op
+  EXPECT_EQ(sim.now(), before);
+}
+
 TEST(FlowLevel, RejectsBadInput) {
   FlowLevelSimulator sim{small_spec(), 10e9};
   EXPECT_THROW(sim.add_flow(1, 0, 0, 100, SimTime{}),

@@ -31,6 +31,15 @@
 //     real work (shadow samples > 0 overall), so a silently-disabled
 //     probe cannot pass.
 //
+//   esim_diffcheck granularity [--n N] [--seed S] [--partitions 2,4]
+//     Generates N quiescent-heavy adaptive-tier scenarios (DESIGN.md §12)
+//     and checks each one: sequential batching on vs off with sampled
+//     drops, then sequential vs PDES at every partition count with
+//     threshold drops — engine-invariant digest lanes (tier lane
+//     included) plus element-wise tier-transition trace comparison per
+//     cluster. Also requires that the corpus executed at least one real
+//     transition, so a controller that never engages cannot pass.
+//
 //   esim_diffcheck selftest
 //     Proves the harness has teeth: runs a crafted tie-rich scenario with
 //     the FES tie-break deliberately inverted on one side and demands the
@@ -79,6 +88,8 @@ struct Args {
          "       esim_diffcheck hybrid [--n N] [--seed S] "
          "[--partitions 2,3]\n"
          "       esim_diffcheck fidelity [--n N] [--seed S] "
+         "[--partitions 2,4]\n"
+         "       esim_diffcheck granularity [--n N] [--seed S] "
          "[--partitions 2,4]\n"
          "       esim_diffcheck selftest\n";
   std::exit(2);
@@ -259,6 +270,40 @@ int cmd_fidelity(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_granularity(const Args& args) {
+  const std::vector<std::uint32_t> partitions =
+      args.partitions_set ? args.partitions : std::vector<std::uint32_t>{2, 4};
+  int failures = 0;
+  std::uint64_t transitions = 0;
+  for (int k = 0; k < args.n; ++k) {
+    const std::uint64_t scenario_seed =
+        args.seed + static_cast<std::uint64_t>(k);
+    const esim::check::HybridScenario sc =
+        esim::check::random_granularity_scenario(scenario_seed);
+    std::cout << "[" << (k + 1) << "/" << args.n << "] seed " << scenario_seed
+              << ": " << sc.summary() << "\n";
+    const std::string diag =
+        esim::check::check_granularity(sc, partitions, &transitions);
+    if (diag.empty()) {
+      std::cout << "  adaptive tiers, batching on/off + sequential vs pdes: "
+                   "EQUIVALENT\n";
+    } else {
+      ++failures;
+      std::cout << diag << "\n  reproduce with: esim_diffcheck granularity "
+                << "--n 1 --seed " << scenario_seed << "\n";
+    }
+  }
+  std::cout << (args.n - failures) << "/" << args.n
+            << " scenarios digest-identical with the adaptive controller on ("
+            << transitions << " tier transitions)\n";
+  if (failures == 0 && transitions == 0) {
+    std::cerr << "esim_diffcheck: granularity check executed ZERO tier "
+                 "transitions — the controller never engaged\n";
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 /// A scenario engineered to put two packets on one switch at the same
 /// instant: two equal flows from the two hosts of ToR 0, started at the
 /// same nanosecond, both targeting host 0 of ToR 1. Their SYNs traverse
@@ -346,6 +391,7 @@ int main(int argc, char** argv) {
     if (args.mode == "replay") return cmd_replay(args);
     if (args.mode == "hybrid") return cmd_hybrid(args);
     if (args.mode == "fidelity") return cmd_fidelity(args);
+    if (args.mode == "granularity") return cmd_granularity(args);
     if (args.mode == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     std::cerr << "esim_diffcheck: " << e.what() << "\n";
