@@ -14,7 +14,7 @@
 #                          default and asan-ubsan.
 #   ESIM_CHECK_COVERAGE=1  also build the coverage preset, run the unit
 #                          + integration tiers under it, and print the
-#                          src/{sim,core,telemetry,approx,flowsim}
+#                          src/{sim,core,telemetry,approx,flowsim,memo}
 #                          line-coverage summary
 #                          (scripts/coverage_summary.sh).
 #
@@ -79,6 +79,19 @@ echo "=== asan-ubsan — esim_diffcheck fidelity smoke ==="
 echo "=== asan-ubsan — esim_diffcheck granularity smoke ==="
 (cd build-asan && ./tools/esim_diffcheck granularity --n 10 --seed 1 --partitions 2,4)
 
+# Phase-memoization replay equivalence under the sanitizers: the delta
+# recorder's observer wrapping, the LRU cache's eviction accounting, and
+# the fast-forward's FES counter surgery must keep memo-on runs
+# digest-identical to memo-off (DESIGN.md §13) with no lifetime bugs in
+# the snapshot/restore path.
+echo "=== asan-ubsan — esim_diffcheck memo smoke ==="
+(cd build-asan && ./tools/esim_diffcheck memo --n 10 --seed 7 --partitions 2,4)
+
+# Memo bench smoke: the aggregate fast-forward speedup path plus the
+# digest-attached replay path end to end under ASan.
+echo "=== asan-ubsan — bench_memo smoke ==="
+(cd build-asan && ESIM_BENCH_QUICK=1 ./bench/bench_memo)
+
 # Granularity bench smoke: trains tiny boundary models, runs the
 # all-packet reference plus fixed/adaptive tier variants and the
 # quiescent corpus — the fluid backend's full lifecycle under ASan.
@@ -97,8 +110,11 @@ echo "=== preset: tsan — test (threaded suites) ==="
 # partition threads (window closes append rows under the sink mutex).
 # Granularity / FluidCluster cover adaptive tier switches and the fluid
 # backend's deferred mutations racing cross-partition deliveries.
+# Memo / PhaseCache cover the PDES memo runner: delta recording across
+# partition threads (the completion log mutex) and replay between
+# engine windows.
 ctest --preset tsan "${jobs}" -R \
-  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner|BatchCluster|Fidelity|Granularity|FluidCluster'
+  'ParallelEngine|PdesBuilder|PdesNetwork|HybridPdes|TelemetryIntegration|Trace|SpscQueue|Partitioner|BatchCluster|Fidelity|Granularity|FluidCluster|Memo|PhaseCache'
 
 if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
   echo "=== preset: coverage — configure ==="
@@ -110,7 +126,7 @@ if [[ "${ESIM_CHECK_COVERAGE:-0}" == "1" ]]; then
     echo "=== preset: coverage — test tier: ${tier} ==="
     ctest --preset coverage "${jobs}" -L "${tier}"
   done
-  echo "=== coverage summary (src/sim, src/core, src/telemetry, src/approx, src/flowsim) ==="
+  echo "=== coverage summary (src/sim, src/core, src/telemetry, src/approx, src/flowsim, src/memo) ==="
   scripts/coverage_summary.sh build-coverage
 fi
 

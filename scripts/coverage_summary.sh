@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Line-coverage summary for the determinism-critical layers (src/sim,
 # src/core), the observability/approximation layers they instrument
-# (src/telemetry, src/approx), and the fluid-tier rate model
-# (src/flowsim), computed with plain gcov from a `coverage`-preset
-# build — no gcovr/lcov dependency.
+# (src/telemetry, src/approx), the fluid-tier rate model (src/flowsim),
+# and the phase-memoization layer (src/memo), computed with plain gcov
+# from a `coverage`-preset build — no gcovr/lcov dependency.
 #
 # Usage:
 #   cmake --preset coverage && cmake --build --preset coverage -j
@@ -69,7 +69,7 @@ summarize_layer() {
 }
 
 status=0
-for layer in sim core telemetry approx flowsim; do
+for layer in sim core telemetry approx flowsim memo; do
   echo "=== line coverage: src/${layer} ==="
   summarize_layer "${layer}" || status=1
 done

@@ -21,8 +21,10 @@ std::uint8_t pack_flags(const net::Packet& pkt) {
                                    (pkt.ece ? 1u << 4 : 0u));
 }
 
-PacketRecord make_record(const net::Packet& pkt, std::int64_t time_ns,
-                         bool dropped) {
+}  // namespace
+
+PacketRecord make_packet_record(const net::Packet& pkt, std::int64_t time_ns,
+                                bool dropped) {
   PacketRecord r;
   r.time_ns = time_ns;
   r.packet_id = pkt.id;
@@ -39,7 +41,40 @@ PacketRecord make_record(const net::Packet& pkt, std::int64_t time_ns,
   return r;
 }
 
-}  // namespace
+std::uint64_t final_state_fingerprint(
+    const std::vector<const sim::Simulator*>& sims) {
+  std::vector<const sim::Component*> components;
+  for (const sim::Simulator* sim : sims) {
+    for (const auto& c : sim->components()) components.push_back(c.get());
+  }
+  std::sort(components.begin(), components.end(),
+            [](const sim::Component* a, const sim::Component* b) {
+              return a->name() < b->name();
+            });
+  Hash64 fin;
+  for (const sim::Component* c : components) {
+    if (const auto* link = dynamic_cast<const net::Link*>(c)) {
+      fin.absorb(name_hash(link->name()));
+      fin.absorb(link->counter().sent);
+      fin.absorb(link->counter().delivered);
+      fin.absorb(link->counter().dropped);
+      fin.absorb(link->queued_bytes());
+      fin.absorb(link->queued_packets());
+      fin.absorb(link->busy() ? 1 : 0);
+    } else if (const auto* sw = dynamic_cast<const net::Switch*>(c)) {
+      fin.absorb(name_hash(sw->name()));
+      fin.absorb(sw->counter().sent);
+      fin.absorb(sw->counter().delivered);
+      fin.absorb(sw->counter().dropped);
+    } else if (const auto* host = dynamic_cast<const tcp::Host*>(c)) {
+      fin.absorb(name_hash(host->name()));
+      fin.absorb(host->counter().sent);
+      fin.absorb(host->counter().delivered);
+      fin.absorb(host->counter().dropped);
+    }
+  }
+  return fin.value();
+}
 
 std::string Digest::to_string() const {
   std::ostringstream os;
@@ -124,12 +159,12 @@ void StateDigest::observe_links(sim::Simulator& sim) {
     auto* total = &captured_total_;
     link->on_transmit = [p, keep, cap, total](const net::Packet& pkt,
                                               sim::SimTime arrive_at) {
-      p->record(make_record(pkt, arrive_at.ns(), /*dropped=*/false), keep,
-                cap, *total);
+      p->record(make_packet_record(pkt, arrive_at.ns(), /*dropped=*/false),
+                keep, cap, *total);
     };
     link->on_drop = [p, keep, cap, total, link](const net::Packet& pkt) {
-      p->record(make_record(pkt, link->now().ns(), /*dropped=*/true), keep,
-                cap, *total);
+      p->record(make_packet_record(pkt, link->now().ns(), /*dropped=*/true),
+                keep, cap, *total);
     };
     probes_.push_back(std::move(probe));
   }
@@ -200,38 +235,14 @@ Digest StateDigest::finalize() const {
 
   // Final lane: every component's counters and residual queue state, in
   // canonical name order across all attached simulators.
-  std::vector<const sim::Component*> components;
-  for (const sim::Simulator* sim : sims_) {
-    for (const auto& c : sim->components()) components.push_back(c.get());
-  }
-  std::sort(components.begin(), components.end(),
-            [](const sim::Component* a, const sim::Component* b) {
-              return a->name() < b->name();
-            });
-  Hash64 fin;
-  for (const sim::Component* c : components) {
-    if (const auto* link = dynamic_cast<const net::Link*>(c)) {
-      fin.absorb(name_hash(link->name()));
-      fin.absorb(link->counter().sent);
-      fin.absorb(link->counter().delivered);
-      fin.absorb(link->counter().dropped);
-      fin.absorb(link->queued_bytes());
-      fin.absorb(link->queued_packets());
-      fin.absorb(link->busy() ? 1 : 0);
-    } else if (const auto* sw = dynamic_cast<const net::Switch*>(c)) {
-      fin.absorb(name_hash(sw->name()));
-      fin.absorb(sw->counter().sent);
-      fin.absorb(sw->counter().delivered);
-      fin.absorb(sw->counter().dropped);
-    } else if (const auto* host = dynamic_cast<const tcp::Host*>(c)) {
-      fin.absorb(name_hash(host->name()));
-      fin.absorb(host->counter().sent);
-      fin.absorb(host->counter().delivered);
-      fin.absorb(host->counter().dropped);
-    }
-  }
-  d.final_lane = fin.value();
+  std::vector<const sim::Simulator*> sims(sims_.begin(), sims_.end());
+  d.final_lane = final_state_fingerprint(sims);
   return d;
+}
+
+void StateDigest::replay_link_record(std::size_t probe,
+                                     const PacketRecord& r) {
+  probes_.at(probe)->record(r, capture_, max_records_, captured_total_);
 }
 
 std::map<std::string, std::vector<PacketRecord>> StateDigest::captured()

@@ -128,6 +128,21 @@ struct PacketRecord {
   std::string to_string() const;
 };
 
+/// Builds the PacketRecord a LinkProbe would absorb for `pkt` observed at
+/// `time_ns` (arrival time for transmits, drop time for drops). Public so
+/// the phase-memoization recorder (src/memo) can log byte-identical
+/// records from wrapped link observers.
+PacketRecord make_packet_record(const net::Packet& pkt, std::int64_t time_ns,
+                                bool dropped);
+
+/// The final lane's component walk as a standalone fingerprint: counters
+/// and residual queue state of every Link/Switch/Host in `sims`, absorbed
+/// in canonical (name-sorted) order. Equal fingerprints mean equal
+/// end-of-run network state regardless of how it was reached — the memo
+/// layer's cheap equivalence check when no digest is attached.
+std::uint64_t final_state_fingerprint(
+    const std::vector<const sim::Simulator*>& sims);
+
 /// Streaming observer wired into one run. Attach engines and links before
 /// the run, feed flow completions during it, call finalize() after it.
 /// Not copyable; must outlive the run it observes.
@@ -178,6 +193,38 @@ class StateDigest {
   /// Captured per-link packet logs (empty unless enable_capture). Keyed
   /// by link name; each vector is in that link's observation order.
   std::map<std::string, std::vector<PacketRecord>> captured() const;
+
+  // --- memoized-phase replay (src/memo) --------------------------------
+  //
+  // A verified cache hit fast-forwards the engines past a phase without
+  // executing it; these entry points let the replayer feed the digest the
+  // exact observations the live phase would have produced. Indices are
+  // attachment order: event lane i is the i-th attach()ed simulator
+  // (partition), probe i the i-th link claimed by observe_links — both
+  // deterministic given a deterministic build order.
+
+  /// Number of attached event lanes (partitions).
+  std::size_t num_event_lanes() const { return lanes_.size(); }
+
+  /// Number of claimed link probes.
+  std::size_t num_probes() const { return probes_.size(); }
+
+  /// The link behind probe `i` (for replayer index mapping).
+  net::Link* probe_link(std::size_t i) const { return probes_.at(i)->link; }
+
+  /// Absorbs one replayed event pop into lane `lane` — identical to the
+  /// live PopObserver path.
+  void replay_event_pop(std::size_t lane, sim::SimTime time,
+                        std::uint64_t seq) {
+    lanes_.at(lane)->on_event_pop(time, seq);
+  }
+
+  /// Absorbs one replayed packet record into probe `probe` — identical to
+  /// the live on_transmit/on_drop path, including capture. Records are
+  /// injected directly (not via the link observers) because drop records
+  /// timestamp with the link's *current* clock, which during replay sits
+  /// at the phase boundary, not the original drop time.
+  void replay_link_record(std::size_t probe, const PacketRecord& r);
 
  private:
   // Per-partition order-lane observer.

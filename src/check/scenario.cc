@@ -50,6 +50,7 @@ core::NetworkConfig Scenario::network_config() const {
   cfg.fabric_link.ecn_threshold_bytes = ecn_threshold;
   cfg.tcp.delayed_ack = tcp == TcpVariant::DelayedAck;
   cfg.tcp.dctcp = tcp == TcpVariant::Dctcp;
+  cfg.ecmp_port_sensitive = ecmp_port_sensitive;
   return cfg;
 }
 
@@ -72,6 +73,7 @@ std::string Scenario::serialize() const {
   os << "ecn_threshold=" << ecn_threshold << "\n";
   os << "tcp=" << tcp_variant_name(tcp) << "\n";
   os << "duration_ns=" << duration_ns << "\n";
+  os << "ecmp_port_sensitive=" << (ecmp_port_sensitive ? 1 : 0) << "\n";
   for (const FlowSpec& f : flows) {
     os << "flow=" << f.src << "," << f.dst << "," << f.bytes << ","
        << f.start_ns << "," << f.flow_id << "\n";
@@ -122,6 +124,10 @@ Scenario Scenario::parse(const std::string& text) {
       }
     } else if (key == "duration_ns") {
       sc.duration_ns = static_cast<std::int64_t>(parse_u64(value, key));
+    } else if (key == "ecmp_port_sensitive") {
+      // Absent in pre-memo files (defaults to true), so old scenario
+      // files keep parsing.
+      sc.ecmp_port_sensitive = parse_u64(value, key) != 0;
     } else if (key == "flow") {
       FlowSpec f;
       std::istringstream fs{value};

@@ -54,6 +54,11 @@ struct Scenario {
   std::uint32_t ecn_threshold = 0;
   TcpVariant tcp = TcpVariant::NewReno;
   std::int64_t duration_ns = 2'000'000;
+  /// Per-flow 5-tuple ECMP (true, the default) vs host-pair ECMP (false):
+  /// see core::NetworkConfig::ecmp_port_sensitive. Memo scenarios disable
+  /// it so repeated phases are path-identical despite fresh ephemeral
+  /// ports.
+  bool ecmp_port_sensitive = true;
   std::vector<FlowSpec> flows;
 
   bool operator==(const Scenario&) const = default;

@@ -53,6 +53,9 @@ BuiltNetwork build_full_network(sim::Simulator& sim,
     out.switches[id] = sim.add_component<Switch>(spec.core_name(k), id,
                                                  config.switch_processing);
   }
+  if (!config.ecmp_port_sensitive) {
+    for (auto* sw : out.switches) sw->set_port_sensitive_ecmp(false);
+  }
 
   // --- links & ports ---
   // Port index bookkeeping: (switch id, neighbor key) -> port. FIB

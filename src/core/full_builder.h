@@ -53,6 +53,12 @@ struct NetworkConfig {
 
   /// TCP parameters for every host.
   tcp::TcpConnection::Config tcp;
+
+  /// When false, every switch hashes ECMP on (src_host, dst_host) only —
+  /// ports zeroed — so all flows between a host pair share one path. See
+  /// Switch::set_port_sensitive_ecmp; phase memoization (src/memo) uses
+  /// this for dense cache hits on multi-spine fabrics.
+  bool ecmp_port_sensitive = true;
 };
 
 /// One agg<->core link pair (both directions), with its coordinates.

@@ -64,6 +64,9 @@ PdesNetwork build_clos_partitioned(sim::ParallelEngine& engine,
     out.switches[id] = psim.add_component<Switch>(spec.core_name(k), id,
                                                   config.switch_processing);
   }
+  if (!config.ecmp_port_sensitive) {
+    for (auto* sw : out.switches) sw->set_port_sensitive_ecmp(false);
+  }
 
   // --- links & ports ---
   // Minimum propagation delay over the cross links of each (from, to)

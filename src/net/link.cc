@@ -54,6 +54,15 @@ void Link::send(Packet pkt) {
   pump();
 }
 
+void Link::memo_apply_counter_delta(const stats::PacketCounter& d) {
+  counter_.sent += d.sent;
+  counter_.delivered += d.delivered;
+  counter_.dropped += d.dropped;
+  if (m_sent_ != nullptr) m_sent_->inc(d.sent);
+  if (m_delivered_ != nullptr) m_delivered_->inc(d.delivered);
+  if (m_dropped_ != nullptr) m_dropped_->inc(d.dropped);
+}
+
 void Link::pump() {
   if (busy_ || queue_.empty()) return;
   busy_ = true;

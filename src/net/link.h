@@ -102,6 +102,13 @@ class Link : public sim::Component {
     remote_ = std::move(remote);
   }
 
+  /// Applies a memoized phase's accounting delta (src/memo replay): bumps
+  /// the packet counter and the aggregate telemetry counters exactly as
+  /// the live phase would have. The queue-depth histogram is NOT replayed
+  /// (per-enqueue samples are not part of the recorded delta); histograms
+  /// are diagnostics, not digest state.
+  void memo_apply_counter_delta(const stats::PacketCounter& d);
+
  private:
   void pump();
   void finish_transmit(Packet pkt);

@@ -44,9 +44,23 @@ std::uint32_t Switch::route_port(const FlowKey& flow) const {
                            std::to_string(flow.dst_host));
   }
   const auto& candidates = routes_[flow.dst_host];
+  FlowKey hashed = flow;
+  if (!port_sensitive_ecmp_) {
+    hashed.src_port = 0;
+    hashed.dst_port = 0;
+  }
   const std::uint32_t pick =
-      ecmp_index(flow, id_, static_cast<std::uint32_t>(candidates.size()));
+      ecmp_index(hashed, id_, static_cast<std::uint32_t>(candidates.size()));
   return candidates[pick];
+}
+
+void Switch::memo_apply_counter_delta(const stats::PacketCounter& d) {
+  counter_.sent += d.sent;
+  counter_.delivered += d.delivered;
+  counter_.dropped += d.dropped;
+  if (m_received_ != nullptr) m_received_->inc(d.sent);
+  if (m_forwarded_ != nullptr) m_forwarded_->inc(d.delivered);
+  if (m_dropped_ != nullptr) m_dropped_->inc(d.dropped);
 }
 
 void Switch::handle_packet(Packet pkt) {

@@ -59,10 +59,24 @@ class Switch : public sim::Component, public PacketHandler {
   /// as dropped).
   const stats::PacketCounter& counter() const { return counter_; }
 
+  /// When disabled, ECMP hashes only the (src_host, dst_host) pair —
+  /// ephemeral ports are zeroed before ecmp_index — so every flow between
+  /// a host pair takes the same path regardless of port assignment. This
+  /// makes repeated workload phases path-identical even though each phase
+  /// consumes fresh ephemeral ports, which is what phase memoization
+  /// (src/memo) needs for dense cache hits on multi-spine fabrics.
+  /// Default: enabled (per-flow 5-tuple ECMP, the paper's configuration).
+  void set_port_sensitive_ecmp(bool on) { port_sensitive_ecmp_ = on; }
+  bool port_sensitive_ecmp() const { return port_sensitive_ecmp_; }
+
+  /// Applies a memoized phase's accounting delta (src/memo replay).
+  void memo_apply_counter_delta(const stats::PacketCounter& d);
+
  private:
   void forward(Packet pkt);
 
   SwitchId id_;
+  bool port_sensitive_ecmp_ = true;
   sim::SimTime processing_delay_;
   std::vector<Link*> ports_;
   std::vector<std::vector<std::uint32_t>> routes_;  // dst host -> ports

@@ -16,7 +16,7 @@ std::uint32_t EventQueue::acquire_slot(EventFn fn) {
     slots_[slot].fn = std::move(fn);
   } else {
     slot = static_cast<std::uint32_t>(slots_.size());
-    slots_.push_back(Slot{std::move(fn), 1, kNpos});
+    slots_.push_back(Slot{std::move(fn), /*seq=*/0, /*gen=*/1, kNpos});
   }
   return slot;
 }
@@ -32,6 +32,7 @@ void EventQueue::release_slot(std::uint32_t slot) {
 EventHandle EventQueue::schedule(SimTime t, std::uint64_t key, EventFn fn) {
   const std::uint32_t slot = acquire_slot(std::move(fn));
   const std::uint32_t gen = slots_[slot].gen;
+  slots_[slot].seq = next_seq_;
   heap_.push_back(Entry{t, key, next_seq_++, slot, gen});
   sift_up(heap_.size() - 1);
   ++live_;
@@ -70,6 +71,52 @@ std::optional<Event> EventQueue::pop() {
   --live_;
   remove_top();
   return out;
+}
+
+namespace {
+
+// SplitMix64 finalizer — local copy so sim stays dependency-free of
+// src/check (which owns the digest Hash64 built on the same mixer).
+constexpr std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::uint64_t EventQueue::pending_fingerprint() const {
+  // Commutative: sum of per-event mixes, so heap layout and visit order
+  // cannot leak into the fingerprint.
+  std::uint64_t acc = 0;
+  for (const Entry& e : heap_) {
+    if (entry_dead(e)) continue;
+    acc += mix64(mix64(static_cast<std::uint64_t>(e.time.ns())) ^
+                 mix64(e.key ^ 0x517CC1B727220A95ULL));
+  }
+  return acc;
+}
+
+void EventQueue::restore_accounting(const AccountingSnapshot& snap) {
+  if (live_ != snap.live) {
+    throw std::logic_error(
+        "restore_accounting: live pending count differs from snapshot");
+  }
+  if (pending_fingerprint() != snap.pending) {
+    throw std::logic_error(
+        "restore_accounting: pending (time, key) multiset differs from "
+        "snapshot");
+  }
+  for (const Entry& e : heap_) {
+    if (!entry_dead(e) && e.seq >= snap.next_seq) {
+      throw std::logic_error(
+          "restore_accounting: a live event was scheduled after the "
+          "snapshot — rewinding next_seq would duplicate its sequence");
+    }
+  }
+  next_seq_ = snap.next_seq;
+  total_scheduled_ = snap.total_scheduled;
 }
 
 void EventQueue::debug_set_invert_tiebreak(bool on) {

@@ -95,6 +95,107 @@ class EventQueue {
   /// Total events ever scheduled (for performance accounting).
   std::uint64_t total_scheduled() const { return total_scheduled_; }
 
+  /// The insertion sequence number the NEXT schedule() will consume.
+  /// Sequence numbers are the determinism contract's same-(time, key)
+  /// tie-break, so replay machinery (src/memo) keys recorded pop streams
+  /// to this counter.
+  std::uint64_t next_seq() const { return next_seq_; }
+
+  /// True while `h` refers to a scheduled-but-not-yet-executed event.
+  bool live(EventHandle h) const {
+    const auto slot = static_cast<std::uint32_t>(h.id & 0xffffffffu);
+    const auto gen = static_cast<std::uint32_t>(h.id >> 32);
+    return h.valid() && slot < slots_.size() && slots_[slot].gen == gen;
+  }
+
+  /// The FES insertion sequence of a live event; 0 when `h` is dead
+  /// (executed, cancelled, or never valid). Sequences start at 1, so 0 is
+  /// unambiguous.
+  std::uint64_t seq_of(EventHandle h) const {
+    const auto slot = static_cast<std::uint32_t>(h.id & 0xffffffffu);
+    return live(h) ? slots_[slot].seq : 0;
+  }
+
+  /// Visits every live (non-cancelled) pending event as f(time, key), in
+  /// unspecified (heap) order. O(heap entries); dead entries are skipped.
+  template <typename F>
+  void for_each_pending(F&& f) const {
+    for (const Entry& e : heap_) {
+      if (!entry_dead(e)) f(e.time, e.key);
+    }
+  }
+
+  /// Commutative (order-independent) fingerprint of the live pending
+  /// (time, key) multiset. Two queues holding the same pending events —
+  /// regardless of scheduling history, cancellations, or heap layout —
+  /// fingerprint identically. Insertion sequences are deliberately
+  /// excluded (they are history, not state).
+  std::uint64_t pending_fingerprint() const;
+
+  // --- accounting snapshot / restore (the memoization contract) --------
+  //
+  // Generation-tagged slots make full FES state capture impossible by
+  // design: closures are move-only and cancellation destroys them
+  // immediately. What CAN be snapshotted and restored is the queue's
+  // *accounting* — the (next_seq, total_scheduled) counters that drive
+  // deterministic tie-breaking — together with a fingerprint of the live
+  // pending set that pins down when a restore is sound.
+  //
+  // The contract across cancellations:
+  //
+  //   * snapshot_accounting() never blocks later operations; it is a pure
+  //     read.
+  //   * restore_accounting(snap) requires that the queue's live pending
+  //     multiset is EXACTLY the snapshot's — same live count, same
+  //     (time, key) fingerprint — and that every live event predates the
+  //     snapshot (insertion seq < snap.next_seq). In that state, every
+  //     event scheduled after the snapshot has been consumed (executed or
+  //     cancelled), so rewinding next_seq/total_scheduled cannot create a
+  //     duplicate sequence among live events and future pops order
+  //     exactly as if the interval never happened. Any violation throws
+  //     std::logic_error and leaves the queue untouched.
+  //   * Slot GENERATIONS are never restored: they are monotonic for the
+  //     queue's lifetime. A handle issued between snapshot and restore
+  //     stays dead forever, even though a post-restore schedule() may
+  //     reuse both its slot and its sequence number — handle identity is
+  //     (slot, generation), so the recycled slot's bumped generation keeps
+  //     old handles from ever matching (tested in event_queue_test.cc,
+  //     ChurnThenRestore).
+  //   * advance_accounting(n) is the fast-forward dual: it declares that
+  //     `n` schedules happened logically (a memoized phase replay) without
+  //     materializing them, keeping subsequent sequence numbers — and
+  //     therefore same-(time, key) tie-breaks — bit-identical to a run
+  //     that executed the phase live.
+
+  /// Accounting state captured by snapshot_accounting().
+  struct AccountingSnapshot {
+    std::uint64_t next_seq = 0;
+    std::uint64_t total_scheduled = 0;
+    std::size_t live = 0;
+    std::uint64_t pending = 0;  ///< pending_fingerprint() at capture
+
+    bool operator==(const AccountingSnapshot&) const = default;
+  };
+
+  /// Captures the accounting counters and the pending-set fingerprint.
+  AccountingSnapshot snapshot_accounting() const {
+    return AccountingSnapshot{next_seq_, total_scheduled_, live_,
+                              pending_fingerprint()};
+  }
+
+  /// Rewinds the accounting counters to `snap`. See the contract above;
+  /// throws std::logic_error unless the live pending multiset matches the
+  /// snapshot and contains no post-snapshot events.
+  void restore_accounting(const AccountingSnapshot& snap);
+
+  /// Declares `scheduled_delta` logical schedules without materializing
+  /// them: next_seq and total_scheduled advance in lockstep (each
+  /// schedule() consumes exactly one of each).
+  void advance_accounting(std::uint64_t scheduled_delta) {
+    next_seq_ += scheduled_delta;
+    total_scheduled_ += scheduled_delta;
+  }
+
   /// Heap entries currently held, live + dead (diagnostic: bounds the
   /// memory retained by cancelled-but-not-yet-compacted events).
   std::size_t heap_entries() const { return heap_.size(); }
@@ -127,6 +228,7 @@ class EventQueue {
   /// heap entry is live iff its recorded gen equals the slot's.
   struct Slot {
     EventFn fn;
+    std::uint64_t seq = 0;  // insertion seq of the current occupant
     std::uint32_t gen = 1;
     std::uint32_t next_free = kNpos;
   };

@@ -67,6 +67,20 @@ void Simulator::run_until(SimTime end) {
   if (now_ < end) now_ = end;
 }
 
+void Simulator::fast_forward_to(SimTime t) {
+  if (t < now_) {
+    throw std::logic_error("fast_forward_to: time " + t.to_string() +
+                           " is in the past (now=" + now_.to_string() + ")");
+  }
+  if (!queue_.empty() && queue_.next_time() < t) {
+    throw std::logic_error(
+        "fast_forward_to: a pending event at " +
+        queue_.next_time().to_string() + " precedes the target " +
+        t.to_string() + " — the skipped interval is not empty");
+  }
+  now_ = t;
+}
+
 void Simulator::set_telemetry(telemetry::Registry* registry,
                               const std::string& prefix) {
   telemetry_ = registry;

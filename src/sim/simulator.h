@@ -130,6 +130,45 @@ class Simulator {
   /// The installed pop observer, or nullptr.
   PopObserver* pop_observer() const { return pop_observer_; }
 
+  // --- memoization / fast-forward hooks (src/memo) ---------------------
+
+  /// Jumps the virtual clock to `t` without executing anything. Sound only
+  /// when the interval [now, t) is known to be empty of pending events —
+  /// i.e. a memoized phase replay has already accounted for them. Throws
+  /// std::logic_error if `t` < now() or a pending event precedes `t`.
+  void fast_forward_to(SimTime t);
+
+  /// Declares `n` logical event executions (a replayed phase) without
+  /// running them, keeping events_executed() identical to a live run.
+  void advance_executed_accounting(std::uint64_t n) { events_executed_ += n; }
+
+  /// FES accounting capture/rewind/advance — see EventQueue's
+  /// snapshot/restore contract in event_queue.h.
+  EventQueue::AccountingSnapshot fes_snapshot() const {
+    return queue_.snapshot_accounting();
+  }
+  void fes_restore(const EventQueue::AccountingSnapshot& snap) {
+    queue_.restore_accounting(snap);
+  }
+  void fes_advance(std::uint64_t scheduled_delta) {
+    queue_.advance_accounting(scheduled_delta);
+  }
+
+  /// The FES insertion sequence the next schedule will consume.
+  std::uint64_t fes_next_seq() const { return queue_.next_seq(); }
+
+  /// True while `h` refers to a pending (not executed/cancelled) event.
+  bool event_live(EventHandle h) const { return queue_.live(h); }
+
+  /// Insertion sequence of a live event; 0 when dead.
+  std::uint64_t event_seq_of(EventHandle h) const { return queue_.seq_of(h); }
+
+  /// Visits every live pending event as f(time, key), unspecified order.
+  template <typename F>
+  void for_each_pending(F&& f) const {
+    queue_.for_each_pending(std::forward<F>(f));
+  }
+
   /// TEST-ONLY: forwards to EventQueue::debug_set_invert_tiebreak — the
   /// determinism harness's injected ordering bug. Throws if any event has
   /// already been scheduled on this engine.

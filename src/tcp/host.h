@@ -67,6 +67,44 @@ class Host : public sim::Component,
   /// Packets handed to connections vs. dropped for want of one.
   const stats::PacketCounter& counter() const { return counter_; }
 
+  // --- memoization hooks (src/memo) ------------------------------------
+
+  /// The ephemeral port the NEXT open_flow will consume.
+  std::uint16_t next_port() const { return next_port_; }
+
+  /// The per-host packet sequence of the last transmitted packet (the low
+  /// 40 bits of its packet id).
+  std::uint64_t next_packet_seq() const { return next_packet_seq_; }
+
+  /// True if a connection (active or passive, completed or not) exists
+  /// under this side's outgoing 4-tuple `key`. Memo hit verification uses
+  /// this to reject fast-forward when a replayed phase's predicted 4-tuple
+  /// would collide with a stale connection left by an earlier port wrap —
+  /// a live run would find and confuse that connection, a replay wouldn't.
+  bool has_connection(const net::FlowKey& key) const {
+    return connections_.find(key) != connections_.end();
+  }
+
+  /// Replays a memoized phase's identity consumption: advances the
+  /// ephemeral-port allocator by `flows_opened` opens (with the same wrap
+  /// rule open_flow applies) and the packet-id sequence by `packets_sent`,
+  /// so post-phase identities are bit-identical to a live run. The
+  /// connections themselves are NOT materialized; see has_connection.
+  void memo_advance_identity(std::uint64_t flows_opened,
+                             std::uint64_t packets_sent) {
+    for (std::uint64_t i = 0; i < flows_opened; ++i) {
+      next_port_ = next_port_ >= 60'000 ? 10'000 : next_port_ + 1;
+    }
+    next_packet_seq_ += packets_sent;
+  }
+
+  /// Applies a memoized phase's accounting delta (src/memo replay).
+  void memo_apply_counter_delta(const stats::PacketCounter& d) {
+    counter_.sent += d.sent;
+    counter_.delivered += d.delivered;
+    counter_.dropped += d.dropped;
+  }
+
   // --- net::PacketHandler ---
   void handle_packet(net::Packet pkt) override;
 

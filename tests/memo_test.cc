@@ -1,0 +1,385 @@
+// Tests for phase memoization (src/memo): PhaseCache LRU properties,
+// MemoRunner replay equivalence, signature-collision safety, near-miss
+// fallback, eviction re-recording, and the adversarial cases (aperiodic
+// boundaries, mutated patterns, memo-off fidelity to the seed harness).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "check/diff_runner.h"
+#include "check/scenario.h"
+#include "memo/memo_diff.h"
+#include "memo/memo_runner.h"
+#include "memo/phase_cache.h"
+#include "workload/phases.h"
+
+namespace esim::memo {
+namespace {
+
+using check::EngineSpec;
+using check::Scenario;
+using workload::PhaseFlow;
+using workload::PhasePattern;
+
+PhaseEntry entry_of_size(std::size_t pops) {
+  PhaseEntry e;
+  e.partitions.resize(1);
+  e.partitions[0].pops.resize(pops);
+  return e;
+}
+
+TEST(PhaseCacheTest, FindMissReturnsNull) {
+  PhaseCache cache;
+  EXPECT_EQ(cache.find(123), nullptr);
+  EXPECT_EQ(cache.entries(), 0u);
+}
+
+TEST(PhaseCacheTest, InsertThenFind) {
+  PhaseCache cache;
+  PhaseEntry e;
+  e.route_fp = 77;
+  cache.insert(1, std::move(e));
+  const PhaseEntry* found = cache.find(1);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->route_fp, 77u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_GT(cache.resident_bytes(), 0u);
+}
+
+TEST(PhaseCacheTest, EntryCountBoundHolds) {
+  PhaseCache::Limits limits;
+  limits.max_entries = 4;
+  PhaseCache cache{limits};
+  for (std::uint64_t sig = 0; sig < 100; ++sig) {
+    cache.insert(sig, PhaseEntry{});
+    EXPECT_LE(cache.entries(), limits.max_entries);
+  }
+  EXPECT_EQ(cache.entries(), 4u);
+  EXPECT_EQ(cache.evictions(), 96u);
+  // Oldest are gone, newest survive.
+  EXPECT_EQ(cache.find(0), nullptr);
+  EXPECT_NE(cache.find(99), nullptr);
+}
+
+TEST(PhaseCacheTest, ByteBoundHoldsAndAccountingBalances) {
+  PhaseCache::Limits limits;
+  limits.max_bytes = 64 * 1024;
+  PhaseCache cache{limits};
+  for (std::uint64_t sig = 0; sig < 64; ++sig) {
+    cache.insert(sig, entry_of_size(256));
+    EXPECT_LE(cache.resident_bytes(), limits.max_bytes);
+  }
+  EXPECT_GT(cache.evictions(), 0u);
+  EXPECT_GT(cache.entries(), 0u);
+
+  // Byte accounting drains back to a single entry's size when everything
+  // else is evicted by one oversized-but-admissible insert.
+  const std::size_t one = entry_of_size(256).bytes();
+  EXPECT_GE(cache.resident_bytes(), one);
+}
+
+TEST(PhaseCacheTest, LruEvictsLeastRecentlyUsed) {
+  PhaseCache::Limits limits;
+  limits.max_entries = 2;
+  PhaseCache cache{limits};
+  cache.insert(1, PhaseEntry{});
+  cache.insert(2, PhaseEntry{});
+  ASSERT_NE(cache.find(1), nullptr);  // refresh 1; 2 is now LRU
+  cache.insert(3, PhaseEntry{});
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.find(2), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+}
+
+TEST(PhaseCacheTest, InsertReplacesExistingEntry) {
+  PhaseCache cache;
+  PhaseEntry a;
+  a.route_fp = 1;
+  cache.insert(5, std::move(a));
+  const std::size_t bytes_after_first = cache.resident_bytes();
+  PhaseEntry b;
+  b.route_fp = 2;
+  cache.insert(5, std::move(b));
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.resident_bytes(), bytes_after_first);
+  EXPECT_EQ(cache.find(5)->route_fp, 2u);
+}
+
+// --- MemoRunner equivalence ------------------------------------------
+
+/// A small periodic workload: two hosts pairs across ToRs, four phases.
+PeriodicScenario small_periodic(std::uint32_t phases = 4) {
+  Scenario base;
+  base.seed = 99;
+  base.tors = 2;
+  base.spines = 2;
+  base.hosts_per_tor = 2;
+  base.duration_ns = 2'000'000;
+  base.flows = {
+      {0, 2, 30'000, 5'000, 1},
+      {1, 3, 20'000, 7'000, 2},
+      {3, 0, 15'000, 9'000, 3},
+  };
+  base.validate();
+  return make_periodic(base, phases, 1'000'000);
+}
+
+TEST(MemoRunnerTest, SequentialFullDigestIdenticalWithHits) {
+  const PeriodicScenario ps = small_periodic();
+  const MemoConfig on;
+  MemoConfig off = on;
+  off.enabled = false;
+
+  MemoRunner off_runner{off};
+  const MemoRunOutcome base =
+      off_runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+  EXPECT_EQ(off_runner.stats().lookups, 0u);
+
+  MemoRunner on_runner{on};
+  const MemoRunOutcome memoized =
+      on_runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+
+  EXPECT_GT(memoized.stats.hits, 0u);
+  EXPECT_EQ(memoized.digest, base.digest);
+  EXPECT_EQ(memoized.flows_completed, base.flows_completed);
+  EXPECT_EQ(memoized.final_state_fp, base.final_state_fp);
+}
+
+TEST(MemoRunnerTest, PdesFullDigestIdenticalWithHits) {
+  const PeriodicScenario ps = small_periodic();
+  for (std::uint32_t partitions : {2u, 4u}) {
+    const EngineSpec spec{partitions};
+    MemoRunner off_runner{MemoConfig{.enabled = false}};
+    const MemoRunOutcome base =
+        off_runner.run(ps.scenario, ps.pattern, spec, true);
+    MemoRunner on_runner{MemoConfig{}};
+    const MemoRunOutcome memoized =
+        on_runner.run(ps.scenario, ps.pattern, spec, true);
+    EXPECT_GT(memoized.stats.hits, 0u) << spec.label();
+    EXPECT_EQ(memoized.digest, base.digest) << spec.label();
+    EXPECT_EQ(memoized.flows_completed, base.flows_completed);
+  }
+}
+
+TEST(MemoRunnerTest, AggregateModeMatchesFinalStateAndIsCheaper) {
+  const PeriodicScenario ps = small_periodic(6);
+  MemoRunner off_runner{MemoConfig{.enabled = false}};
+  const MemoRunOutcome base =
+      off_runner.run(ps.scenario, ps.pattern, EngineSpec{}, false);
+  EXPECT_FALSE(base.digest_attached);
+
+  MemoRunner on_runner{MemoConfig{}};
+  const MemoRunOutcome agg =
+      on_runner.run(ps.scenario, ps.pattern, EngineSpec{}, false);
+  EXPECT_GT(agg.stats.hits, 0u);
+  EXPECT_EQ(agg.final_state_fp, base.final_state_fp);
+  EXPECT_EQ(agg.flows_completed, base.flows_completed);
+  // Aggregate entries carry no event/packet streams.
+  EXPECT_GT(agg.stats.fast_forwarded_ns, 0);
+}
+
+TEST(MemoRunnerTest, CachePersistsAcrossRunsOfOneRunner) {
+  const PeriodicScenario ps = small_periodic();
+  MemoRunner runner{MemoConfig{}};
+  const MemoRunOutcome first =
+      runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+  const std::uint64_t first_misses = first.stats.misses;
+  EXPECT_GT(first_misses, 0u);
+
+  // Second identical run: phase boundaries land in the same relative
+  // state, so every memoizable phase hits entries from the first run.
+  const MemoRunOutcome second =
+      runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+  EXPECT_GT(second.stats.hits, first.stats.hits);
+  EXPECT_EQ(second.stats.misses, first_misses);
+
+  MemoRunner off_runner{MemoConfig{.enabled = false}};
+  const MemoRunOutcome base =
+      off_runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+  EXPECT_EQ(second.digest, base.digest);
+}
+
+TEST(MemoRunnerTest, RejectsMismatchedScenarioAndPattern) {
+  PeriodicScenario ps = small_periodic();
+  ps.scenario.flows[0].bytes += 1;  // no longer pattern.expand(1)
+  MemoRunner runner{MemoConfig{}};
+  EXPECT_THROW(runner.run(ps.scenario, ps.pattern, EngineSpec{}, true),
+               std::invalid_argument);
+}
+
+// --- adversarial: collisions, mutation, aperiodicity ------------------
+
+TEST(MemoRunnerTest, SignatureCollisionNeverProducesFalseHit) {
+  // Collapse every signature to a constant: only hit-time verification
+  // separates phases. Run pattern A, then a pattern differing in one
+  // flow's bytes through the SAME runner (same cache). Every A-entry
+  // lookup from B must be rejected (near-miss), and B's digest must
+  // still match its own memo-off baseline.
+  const PeriodicScenario a = small_periodic();
+  PeriodicScenario b = a;
+  b.pattern.pattern[1].bytes += 1'460;
+  b.scenario.flows.clear();
+  for (const auto& inj : b.pattern.expand(1)) {
+    b.scenario.flows.push_back(
+        {inj.src, inj.dst, inj.bytes, inj.start_ns, inj.flow_id});
+  }
+
+  MemoConfig collide;
+  collide.debug_collide_signatures = true;
+  MemoRunner runner{collide};
+  const MemoRunOutcome out_a =
+      runner.run(a.scenario, a.pattern, EngineSpec{}, true);
+  EXPECT_GT(out_a.stats.hits, 0u);  // A still hits its own phases
+
+  const MemoRunOutcome out_b =
+      runner.run(b.scenario, b.pattern, EngineSpec{}, true);
+  // B's first lookup collides with A's entry and must be verified away.
+  EXPECT_GT(out_b.stats.near_misses, out_a.stats.near_misses);
+
+  MemoRunner off_runner{MemoConfig{.enabled = false}};
+  const MemoRunOutcome base =
+      off_runner.run(b.scenario, b.pattern, EngineSpec{}, true);
+  EXPECT_EQ(out_b.digest, base.digest);
+  EXPECT_EQ(out_b.flows_completed, base.flows_completed);
+}
+
+TEST(MemoRunnerTest, MutatedFlowChangesSignature) {
+  // Without forced collisions, a one-flow mutation must change the
+  // signature outright: pattern B's lookups never even find A's entries.
+  const PeriodicScenario a = small_periodic();
+  PeriodicScenario b = a;
+  b.pattern.pattern[0].bytes += 1'460;
+  b.scenario.flows.clear();
+  for (const auto& inj : b.pattern.expand(1)) {
+    b.scenario.flows.push_back(
+        {inj.src, inj.dst, inj.bytes, inj.start_ns, inj.flow_id});
+  }
+
+  MemoRunner runner{MemoConfig{}};
+  const MemoRunOutcome out_a =
+      runner.run(a.scenario, a.pattern, EngineSpec{}, true);
+  const MemoRunOutcome out_b =
+      runner.run(b.scenario, b.pattern, EngineSpec{}, true);
+  // B hit only entries recorded from B's own phases, never A's: its
+  // near-miss count stays where A left it.
+  EXPECT_EQ(out_b.stats.near_misses, out_a.stats.near_misses);
+
+  MemoRunner off_runner{MemoConfig{.enabled = false}};
+  const MemoRunOutcome base =
+      off_runner.run(b.scenario, b.pattern, EngineSpec{}, true);
+  EXPECT_EQ(out_b.digest, base.digest);
+}
+
+TEST(MemoRunnerTest, AperiodicBoundariesYieldZeroHitsAndExactDigest) {
+  // Shrink the period so flows straddle every boundary: no quiescent
+  // boundary ever forms, the memo layer must never fire, and the chunked
+  // run must still be digest-identical to the memo-off chunked run.
+  Scenario base;
+  base.seed = 7;
+  base.tors = 2;
+  base.spines = 1;
+  base.hosts_per_tor = 2;
+  base.duration_ns = 1'000'000;
+  base.flows = {
+      {0, 2, 80'000, 5'000, 1},
+      {1, 3, 80'000, 9'000, 2},
+  };
+  base.validate();
+  const PeriodicScenario ps = make_periodic(base, 8, 60'000);
+
+  MemoRunner on_runner{MemoConfig{}};
+  const MemoRunOutcome memoized =
+      on_runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+  EXPECT_EQ(memoized.stats.hits, 0u);
+  EXPECT_EQ(memoized.stats.fast_forwarded_phases, 0u);
+
+  MemoRunner off_runner{MemoConfig{.enabled = false}};
+  const MemoRunOutcome base_out =
+      off_runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+  EXPECT_EQ(memoized.digest, base_out.digest);
+}
+
+TEST(MemoRunnerTest, MemoOffChunkedMatchesUnchunkedReference) {
+  // The chunked memo-off baseline is anchored to the seed harness: full
+  // digest equality against DiffRunner's unchunked sequential run.
+  const PeriodicScenario ps = small_periodic();
+  MemoRunner off_runner{MemoConfig{.enabled = false}};
+  const MemoRunOutcome chunked =
+      off_runner.run(ps.scenario, ps.pattern, EngineSpec{}, true);
+  const check::DiffRunner ref;
+  const check::RunOutcome unchunked = ref.run(ps.scenario, EngineSpec{});
+  EXPECT_EQ(chunked.digest, unchunked.digest);
+  EXPECT_EQ(chunked.flows_completed, unchunked.flows_completed);
+}
+
+TEST(MemoRunnerTest, HitAfterEvictionReRecords) {
+  // A one-entry cache alternating between two patterns: every phase
+  // change evicts the other pattern's entry, so each run re-records and
+  // still ends digest-identical.
+  const PeriodicScenario a = small_periodic();
+  PeriodicScenario b = a;
+  b.pattern.pattern[0].bytes += 1'460;
+  b.scenario.flows.clear();
+  for (const auto& inj : b.pattern.expand(1)) {
+    b.scenario.flows.push_back(
+        {inj.src, inj.dst, inj.bytes, inj.start_ns, inj.flow_id});
+  }
+
+  MemoConfig tiny;
+  tiny.limits.max_entries = 1;
+  MemoRunner runner{tiny};
+  const MemoRunOutcome a1 =
+      runner.run(a.scenario, a.pattern, EngineSpec{}, true);
+  EXPECT_GT(a1.stats.hits, 0u);
+  const MemoRunOutcome b1 =
+      runner.run(b.scenario, b.pattern, EngineSpec{}, true);
+  const MemoRunOutcome a2 =
+      runner.run(a.scenario, a.pattern, EngineSpec{}, true);
+  // A's entry was evicted by B, so the second A run re-recorded (stores
+  // grew) and then hit again.
+  EXPECT_GT(a2.stats.stores, b1.stats.stores);
+  EXPECT_GT(a2.stats.hits, b1.stats.hits);
+  EXPECT_GT(a2.stats.evictions, 0u);
+  EXPECT_LE(a2.cache_entries, 1u);
+
+  MemoRunner off_runner{MemoConfig{.enabled = false}};
+  const MemoRunOutcome base =
+      off_runner.run(a.scenario, a.pattern, EngineSpec{}, true);
+  EXPECT_EQ(a2.digest, base.digest);
+}
+
+TEST(MemoDiffTest, CheckMemoPassesOnPeriodicScenario) {
+  const PeriodicScenario ps = small_periodic();
+  MemoStats totals;
+  const std::string diag = check_memo(ps, {2}, MemoConfig{}, &totals);
+  EXPECT_EQ(diag, "") << diag;
+  EXPECT_GT(totals.hits, 0u);
+}
+
+TEST(MemoDiffTest, MakePeriodicFoldsAndValidates) {
+  Scenario base;
+  base.seed = 3;
+  base.tors = 2;
+  base.spines = 1;
+  base.hosts_per_tor = 2;
+  base.duration_ns = 3'000'000;
+  base.flows = {
+      {0, 1, 10'000, 950'000, 1},   // start beyond period/2: folded
+      {0, 2, 10'000, 1'950'000, 2}, // folds onto the same offset: bumped
+      {1, 0, 10'000, 450'000, 3},
+  };
+  base.validate();
+  const PeriodicScenario ps = make_periodic(base, 3, 1'000'000);
+  EXPECT_EQ(ps.pattern.pattern.size(), 3u);
+  EXPECT_EQ(ps.scenario.flows.size(), 9u);
+  EXPECT_EQ(ps.scenario.duration_ns, 3'000'000);
+  EXPECT_FALSE(ps.scenario.ecmp_port_sensitive);
+  for (const auto& f : ps.pattern.pattern) {
+    EXPECT_GE(f.offset_ns, 0);
+    EXPECT_LT(f.offset_ns, 1'000'000);
+  }
+}
+
+}  // namespace
+}  // namespace esim::memo

@@ -40,6 +40,16 @@
 //     cluster. Also requires that the corpus executed at least one real
 //     transition, so a controller that never engages cannot pass.
 //
+//   esim_diffcheck memo [--n N] [--seed S] [--partitions 2,4]
+//     Generates N periodic (ML-training-style) scenarios and checks each
+//     one's phase-memoization equivalence (src/memo): memo-on vs memo-off
+//     at FULL digest identity (order lane included) sequentially and at
+//     every PDES partition count, the chunked memo-off baseline against
+//     the unchunked DiffRunner, and the aggregate-only fast-forward mode
+//     against the memo-off final-state fingerprint. Also requires the
+//     corpus produced real cache hits, so memoization that never engages
+//     cannot pass.
+//
 //   esim_diffcheck selftest
 //     Proves the harness has teeth: runs a crafted tie-rich scenario with
 //     the FES tie-break deliberately inverted on one side and demands the
@@ -58,6 +68,7 @@
 #include "check/fuzzer.h"
 #include "check/hybrid_diff.h"
 #include "check/scenario.h"
+#include "memo/memo_diff.h"
 
 namespace {
 
@@ -90,6 +101,8 @@ struct Args {
          "       esim_diffcheck fidelity [--n N] [--seed S] "
          "[--partitions 2,4]\n"
          "       esim_diffcheck granularity [--n N] [--seed S] "
+         "[--partitions 2,4]\n"
+         "       esim_diffcheck memo [--n N] [--seed S] "
          "[--partitions 2,4]\n"
          "       esim_diffcheck selftest\n";
   std::exit(2);
@@ -304,6 +317,55 @@ int cmd_granularity(const Args& args) {
   return failures == 0 ? 0 : 1;
 }
 
+int cmd_memo(const Args& args) {
+  const std::vector<std::uint32_t> partitions =
+      args.partitions_set ? args.partitions : std::vector<std::uint32_t>{2, 4};
+  // Small flows that drain well inside half a period, so phase boundaries
+  // are usually quiescent and the memo layer actually engages.
+  ScenarioFuzzer::Options fuzz_options;
+  fuzz_options.min_flows = 3;
+  fuzz_options.max_flows = 6;
+  fuzz_options.max_flow_mss = 20;
+  int failures = 0;
+  esim::memo::MemoStats totals;
+  for (int k = 0; k < args.n; ++k) {
+    const std::uint64_t scenario_seed =
+        args.seed + static_cast<std::uint64_t>(k);
+    ScenarioFuzzer fuzzer{scenario_seed, fuzz_options};
+    const Scenario base = fuzzer.next();
+    const std::uint32_t phases =
+        3 + static_cast<std::uint32_t>(scenario_seed % 3);
+    const std::int64_t period_ns =
+        900'000 + static_cast<std::int64_t>(scenario_seed % 5) * 150'000;
+    const esim::memo::PeriodicScenario ps =
+        esim::memo::make_periodic(base, phases, period_ns);
+    std::cout << "[" << (k + 1) << "/" << args.n << "] seed " << scenario_seed
+              << ": " << ps.scenario.summary() << " (" << phases
+              << " phases of " << period_ns << "ns)\n";
+    const std::string diag =
+        esim::memo::check_memo(ps, partitions, {}, &totals);
+    if (diag.empty()) {
+      std::cout << "  memo on/off + chunked vs reference: EQUIVALENT\n";
+    } else {
+      ++failures;
+      std::cout << diag << "\n  reproduce with: esim_diffcheck memo --n 1 "
+                << "--seed " << scenario_seed << "\n";
+    }
+  }
+  std::cout << (args.n - failures) << "/" << args.n
+            << " periodic scenarios digest-identical with memoization on ("
+            << totals.hits << " hits, " << totals.misses << " misses, "
+            << totals.near_misses << " near misses, " << totals.store_aborts
+            << " store aborts, " << totals.fast_forwarded_ns
+            << "ns fast-forwarded)\n";
+  if (failures == 0 && totals.hits == 0) {
+    std::cerr << "esim_diffcheck: memo check produced ZERO cache hits — "
+                 "memoization never engaged\n";
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 /// A scenario engineered to put two packets on one switch at the same
 /// instant: two equal flows from the two hosts of ToR 0, started at the
 /// same nanosecond, both targeting host 0 of ToR 1. Their SYNs traverse
@@ -392,6 +454,7 @@ int main(int argc, char** argv) {
     if (args.mode == "hybrid") return cmd_hybrid(args);
     if (args.mode == "fidelity") return cmd_fidelity(args);
     if (args.mode == "granularity") return cmd_granularity(args);
+    if (args.mode == "memo") return cmd_memo(args);
     if (args.mode == "selftest") return cmd_selftest();
   } catch (const std::exception& e) {
     std::cerr << "esim_diffcheck: " << e.what() << "\n";
